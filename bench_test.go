@@ -1,0 +1,99 @@
+// Benchmarks regenerating the paper's tables and figures in miniature:
+// one testing.B benchmark per table/figure. Each benchmark runs the
+// corresponding workload under the ZGC baseline (Config 0) and a
+// representative HCSGC configuration, reporting simulated execution time
+// and LLC misses as custom metrics. The full sweeps over all 19
+// configurations with bootstrap statistics live in cmd/hcsgc-bench.
+package hcsgc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hcsgc"
+	"hcsgc/internal/bench"
+	"hcsgc/internal/graphgen"
+	"hcsgc/internal/workloads"
+)
+
+// benchScale keeps each single run fast; hcsgc-bench uses larger scales.
+const benchScale = 0.02
+
+// benchConfigs is the config subset exercised per figure: the baseline and
+// the paper's strongest configuration family.
+var benchConfigs = []int{0, 4, 16}
+
+func benchmarkFigure(b *testing.B, id string) {
+	w, err := workloads.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range benchConfigs {
+		knobs := bench.KnobsFor(cfg)
+		b.Run(fmt.Sprintf("config%d", cfg), func(b *testing.B) {
+			var simSecs, llc float64
+			for i := 0; i < b.N; i++ {
+				res := w.Run(workloads.RunConfig{
+					Knobs: knobs,
+					Seed:  int64(i + 1),
+					Scale: benchScale,
+				})
+				simSecs += res.ExecSeconds
+				llc += float64(res.LLCMisses)
+			}
+			b.ReportMetric(simSecs/float64(b.N), "sim-s/run")
+			b.ReportMetric(llc/float64(b.N), "LLCmiss/run")
+		})
+	}
+}
+
+func BenchmarkFig4Synthetic(b *testing.B)   { benchmarkFigure(b, "fig4") }
+func BenchmarkFig5Phases(b *testing.B)      { benchmarkFigure(b, "fig5") }
+func BenchmarkFig6Overload(b *testing.B)    { benchmarkFigure(b, "fig6") }
+func BenchmarkFig7CCUK(b *testing.B)        { benchmarkFigure(b, "fig7") }
+func BenchmarkFig8CCEnwiki(b *testing.B)    { benchmarkFigure(b, "fig8") }
+func BenchmarkFig9MCUK(b *testing.B)        { benchmarkFigure(b, "fig9") }
+func BenchmarkFig10MCEnwiki(b *testing.B)   { benchmarkFigure(b, "fig10") }
+func BenchmarkFig11Tradebeans(b *testing.B) { benchmarkFigure(b, "fig11") }
+func BenchmarkFig12H2(b *testing.B)         { benchmarkFigure(b, "fig12") }
+func BenchmarkFig13SPECjbb(b *testing.B)    { benchmarkFigure(b, "fig13") }
+
+// BenchmarkTable1PageAlloc measures the page allocator underlying the
+// Table 1 size classes.
+func BenchmarkTable1PageAlloc(b *testing.B) {
+	rt := hcsgc.MustNewRuntime(hcsgc.Options{HeapMaxBytes: 1 << 30, DisableMemModel: true})
+	defer rt.Close()
+	m := rt.NewMutator(1)
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AllocWordArray(30) // small-class allocation through the TLAB
+	}
+}
+
+// BenchmarkTable2ConfigSweep measures one tiny workload run per Table 2
+// configuration, confirming all 19 are runnable.
+func BenchmarkTable2ConfigSweep(b *testing.B) {
+	w, _ := workloads.Get("fig4")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := bench.AllConfigs()[i%bench.NumConfigs]
+		w.Run(workloads.RunConfig{Knobs: bench.KnobsFor(cfg), Seed: 1, Scale: 0.005})
+	}
+}
+
+// BenchmarkTable3GraphGen measures generation of the Table 3 graph inputs
+// at a reduced scale.
+func BenchmarkTable3GraphGen(b *testing.B) {
+	for _, p := range graphgen.Presets() {
+		b.Run(p.Name, func(b *testing.B) {
+			params := p.Scaled(0.1)
+			for i := 0; i < b.N; i++ {
+				g := graphgen.MustGenerate(params)
+				if g.Nodes() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+// Command hcsgc-bench regenerates the tables and figures of "Improving
+// Program Locality in the GC using Hotness" (PLDI 2020).
+//
+// Usage:
+//
+//	hcsgc-bench -exp fig4                # one experiment, default settings
+//	hcsgc-bench -exp all                 # everything (takes a while)
+//	hcsgc-bench -exp fig9 -runs 30 -scale 0.06 -configs 0,2,3,4
+//	hcsgc-bench -exp fig4 -csv out.csv   # machine-readable output
+//
+// Results are printed as text reports following the paper's §4.2 layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hcsgc/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id: table1-3, fig4-13, or 'all'")
+		runs    = flag.Int("runs", 0, "runs per configuration (0 = experiment default)")
+		scale   = flag.Float64("scale", 0, "workload scale in (0,1]; 0 = default; 1 = paper scale")
+		seed    = flag.Int64("seed", 0, "base seed (0 = experiment default)")
+		configs = flag.String("configs", "", "comma-separated config ids (default: all 19)")
+		csvPath = flag.String("csv", "", "also write per-config CSV to this file")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		ablate  = flag.String("ablate", "", "run an ablation sweep instead: "+strings.Join(bench.AblationNames(), ", "))
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		for _, a := range bench.AblationNames() {
+			fmt.Printf("ablate:%s\n", a)
+		}
+		return
+	}
+	if *ablate != "" {
+		progress := bench.Progress(nil)
+		if !*quiet {
+			progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+		}
+		res, err := bench.RunAblation(*ablate, *runs, *scale, *seed, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.WriteAblation(os.Stdout, &res)
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "hcsgc-bench: -exp is required (see -list)")
+		os.Exit(2)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.ExperimentIDs()
+	}
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for _, id := range ids {
+		if err := runOne(id, *runs, *scale, *seed, *configs, *quiet, csvFile); err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(id string, runs int, scale float64, seed int64, configs string, quiet bool, csvFile *os.File) error {
+	switch id {
+	case "table1":
+		bench.WriteTable1(os.Stdout)
+		return nil
+	case "table2":
+		bench.WriteTable2(os.Stdout)
+		return nil
+	case "table3":
+		s := scale
+		if s == 0 {
+			s = 0.1
+		}
+		bench.WriteTable3(os.Stdout, s)
+		return nil
+	}
+
+	spec, ok := bench.Specs()[id]
+	if !ok {
+		return fmt.Errorf("unknown experiment (see -list)")
+	}
+	if runs > 0 {
+		spec.Runs = runs
+	}
+	if scale > 0 {
+		spec.Scale = scale
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	if configs != "" {
+		ids, err := parseConfigs(configs)
+		if err != nil {
+			return err
+		}
+		spec.Configs = ids
+	}
+	progress := bench.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := bench.Run(spec, progress)
+	if err != nil {
+		return err
+	}
+	bench.WriteReport(os.Stdout, &res)
+	if csvFile != nil {
+		bench.WriteCSV(csvFile, &res)
+	}
+	return nil
+}
+
+func parseConfigs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad config id %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseConfigs(t *testing.T) {
+	got, err := parseConfigs("0, 4,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 4 || got[2] != 16 {
+		t.Fatalf("parseConfigs = %v", got)
+	}
+	if _, err := parseConfigs("0,x"); err == nil {
+		t.Fatal("bad config id must error")
+	}
+	if _, err := parseConfigs(""); err == nil {
+		t.Fatal("empty string must error (empty field)")
+	}
+}
+
+func TestRunOneTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		if err := runOne(id, 0, 0, 0, "", true, nil); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("nonesuch", 0, 0, 0, "", true, nil); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunOneTinyFigure(t *testing.T) {
+	if err := runOne("fig13", 1, 0.01, 1, "0,5", true, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Command hcsgc-demo shows the core HCSGC mechanism on a tiny example: it
+// allocates objects in index order, accesses them in a shuffled order
+// through GC cycles, and prints the object layout before and after — under
+// baseline ZGC behaviour and under HCSGC with lazy relocation — together
+// with the cache statistics for a post-reorganisation traversal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"hcsgc"
+)
+
+func main() {
+	// The default population fills several 2MB pages completely and
+	// exceeds the 4MB simulated LLC: fully live pages are exactly the ones
+	// baseline ZGC never evacuates but HCSGC does.
+	n := flag.Int("n", 300000, "number of objects")
+	show := flag.Int("show", 12, "objects to print per layout dump")
+	flag.Parse()
+
+	order := rand.New(rand.NewSource(42)).Perm(*n)
+
+	fmt.Println("=== baseline (original ZGC behaviour) ===")
+	run(hcsgc.Knobs{}, *n, order, *show)
+	fmt.Println()
+	fmt.Println("=== HCSGC: RelocateAllSmallPages + LazyRelocate ===")
+	run(hcsgc.Knobs{RelocateAllSmallPages: true, LazyRelocate: true}, *n, order, *show)
+}
+
+func run(knobs hcsgc.Knobs, n int, order []int, show int) {
+	rt := hcsgc.MustNewRuntime(hcsgc.Options{
+		HeapMaxBytes: 256 << 20,
+		Knobs:        knobs,
+	})
+	defer rt.Close()
+	obj := rt.Types.Register("demo.obj", 3, nil)
+	m := rt.NewMutator(2)
+	defer m.Close()
+
+	arr := m.AllocRefArray(n)
+	m.SetRoot(0, arr)
+	for i := 0; i < n; i++ {
+		o := m.Alloc(obj)
+		m.StoreField(o, 0, uint64(i))
+		m.StoreRef(m.LoadRoot(0), i, o)
+	}
+
+	dump := func(when string) {
+		fmt.Printf("%-28s", when+":")
+		for k := 0; k < show; k++ {
+			ref := m.LoadRef(m.LoadRoot(0), order[k])
+			fmt.Printf(" %#x", ref.Addr())
+		}
+		fmt.Println()
+	}
+
+	dump("layout before GC")
+	m.RequestGC() // select EC; in lazy mode GC threads stand down
+
+	// Traverse in the shuffled access order: under HCSGC the mutator
+	// relocates each object as it touches it, into its TLAB, in exactly
+	// this order.
+	before := rt.MemStats()
+	for _, idx := range order {
+		o := m.LoadRef(m.LoadRoot(0), idx)
+		_ = m.LoadField(o, 0)
+	}
+	dump("layout after 1st traversal")
+
+	// Second traversal: measure locality of the (possibly) new layout.
+	mid := rt.MemStats()
+	for _, idx := range order {
+		o := m.LoadRef(m.LoadRoot(0), idx)
+		_ = m.LoadField(o, 0)
+	}
+	after := rt.MemStats()
+
+	fmt.Printf("1st traversal: %d loads, %d LLC misses (includes relocation)\n",
+		mid.Loads-before.Loads, mid.LLCMisses-before.LLCMisses)
+	fmt.Printf("2nd traversal: %d loads, %d LLC misses\n",
+		after.Loads-mid.Loads, after.LLCMisses-mid.LLCMisses)
+	st := rt.Collector.Stats()
+	fmt.Printf("GC cycles: %d | mutator-relocated objects: %d | GC-relocated: %d\n",
+		rt.Collector.Cycles(), st.MutatorRelocObjects, st.GCRelocObjects)
+}

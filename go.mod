@@ -1,0 +1,3 @@
+module hcsgc
+
+go 1.22

@@ -1,0 +1,223 @@
+// Package hcsgc is the public API of the HCSGC reproduction: a managed
+// heap with a ZGC-style mostly-concurrent mark-compact collector extended
+// with hot/cold object segregation, as described in "Improving Program
+// Locality in the GC using Hotness" (Yang, Österlund, Wrigstad, PLDI 2020).
+//
+// A Runtime bundles the simulated heap, the collector, the cache-hierarchy
+// model that measures locality, and a machine model that folds cycle
+// ledgers into execution time. Application threads attach as Mutators;
+// every object access goes through the collector's load barrier and is
+// charged to the mutator's simulated core.
+//
+// Minimal use:
+//
+//	rt := hcsgc.MustNewRuntime(hcsgc.Options{
+//		HeapMaxBytes: 64 << 20,
+//		Knobs:        hcsgc.Knobs{Hotness: true, LazyRelocate: true},
+//	})
+//	defer rt.Close()
+//	node := rt.Types.Register("node", 2, []int{0})
+//	m := rt.NewMutator(8)
+//	obj := m.Alloc(node)
+//	m.SetRoot(0, obj)
+//	...
+package hcsgc
+
+import (
+	"sync"
+
+	"hcsgc/internal/core"
+	"hcsgc/internal/heap"
+	"hcsgc/internal/machine"
+	"hcsgc/internal/objmodel"
+	"hcsgc/internal/simmem"
+)
+
+// Re-exported types so users never import internal packages.
+type (
+	// Knobs are the HCSGC tuning knobs from Table 2 of the paper.
+	Knobs = core.Knobs
+	// CostModel holds abstract operation costs in cycles.
+	CostModel = core.CostModel
+	// Mutator is an application thread's handle onto the managed heap.
+	Mutator = core.Mutator
+	// Ref is a colored reference to a heap object.
+	Ref = heap.Ref
+	// Type describes an object layout.
+	Type = objmodel.Type
+	// GCStats is a snapshot of collector activity.
+	GCStats = core.Stats
+	// CycleStats records one GC cycle.
+	CycleStats = core.CycleStats
+	// MemStats is the process-wide cache-model counter snapshot.
+	MemStats = simmem.SystemStats
+	// Machine is the core-count/clock model used for execution time.
+	Machine = machine.Model
+)
+
+// NullRef is the null reference.
+const NullRef = heap.NullRef
+
+// Machine model presets (see internal/machine).
+var (
+	// LaptopMachine models the paper's 2-core/4-thread i7-4600U.
+	LaptopMachine = machine.Laptop()
+	// SingleCoreMachine models the taskset run of Fig. 6.
+	SingleCoreMachine = machine.SingleCore()
+	// ServerMachine models the 32-core Opteron used for SPECjbb.
+	ServerMachine = machine.Server()
+)
+
+// Options configures a Runtime. The zero value is a usable 256 MB heap
+// with original-ZGC behaviour on the laptop machine model.
+type Options struct {
+	// HeapMaxBytes is the committed-heap limit (like -Xmx). 0 = 256 MB.
+	HeapMaxBytes uint64
+	// Knobs are the HCSGC tuning knobs; the zero value is original ZGC.
+	Knobs Knobs
+	// GCWorkers is the concurrent GC thread count. 0 = 2.
+	GCWorkers int
+	// TriggerPercent is the occupancy that triggers a cycle. 0 = 70.
+	TriggerPercent float64
+	// EvacThreshold is the evacuation live-ratio threshold. 0 = 0.75
+	// (the paper's 75%).
+	EvacThreshold float64
+	// Machine is the execution-time model. Zero value = LaptopMachine.
+	Machine Machine
+	// MemConfig overrides the cache hierarchy; nil = the paper's laptop
+	// (32KB L1 / 256KB L2 / 4MB LLC, stream prefetcher).
+	MemConfig *simmem.HierarchyConfig
+	// DisableMemModel turns off cache simulation entirely (unit tests,
+	// functional runs).
+	DisableMemModel bool
+	// Costs overrides the abstract cost model; zero value = defaults.
+	Costs CostModel
+	// StartDriver launches the background occupancy-triggered GC driver.
+	StartDriver bool
+}
+
+// Runtime bundles the full system.
+type Runtime struct {
+	Heap      *heap.Heap
+	Collector *core.Collector
+	Mem       *simmem.Hierarchy // nil when DisableMemModel
+	Types     *objmodel.Registry
+	Machine   Machine
+
+	mu       sync.Mutex
+	mutators []*Mutator
+	closed   bool
+}
+
+// NewRuntime builds a runtime from options.
+func NewRuntime(opts Options) (*Runtime, error) {
+	var mem *simmem.Hierarchy
+	if !opts.DisableMemModel {
+		cfg := simmem.DefaultConfig()
+		if opts.MemConfig != nil {
+			cfg = *opts.MemConfig
+		}
+		var err error
+		mem, err = simmem.NewHierarchy(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h := heap.New(heap.Config{
+		MaxBytes:        opts.HeapMaxBytes,
+		EnableTinyClass: opts.Knobs.TinyPages,
+	}, mem)
+	types := objmodel.NewRegistry()
+	col, err := core.New(h, types, core.Config{
+		Knobs:          opts.Knobs,
+		Costs:          opts.Costs,
+		GCWorkers:      opts.GCWorkers,
+		TriggerPercent: opts.TriggerPercent,
+		EvacThreshold:  opts.EvacThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mach := opts.Machine
+	if mach.Cores == 0 {
+		mach = LaptopMachine
+	}
+	rt := &Runtime{
+		Heap:      h,
+		Collector: col,
+		Mem:       mem,
+		Types:     types,
+		Machine:   mach,
+	}
+	if opts.StartDriver {
+		col.StartDriver()
+	}
+	return rt, nil
+}
+
+// MustNewRuntime is NewRuntime but panics on error.
+func MustNewRuntime(opts Options) *Runtime {
+	rt, err := NewRuntime(opts)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// NewMutator attaches an application thread with the given root-slot
+// count. The runtime remembers it for the final execution-time ledger.
+func (rt *Runtime) NewMutator(rootSlots int) *Mutator {
+	m := rt.Collector.NewMutator(rootSlots)
+	rt.mu.Lock()
+	rt.mutators = append(rt.mutators, m)
+	rt.mu.Unlock()
+	return m
+}
+
+// Close stops the background driver. The runtime must not be used after.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	rt.Collector.StopDriver()
+}
+
+// Ledger assembles the machine-model input from every mutator ever
+// attached plus the collector's concurrent and pause work.
+func (rt *Runtime) Ledger() machine.Ledger {
+	rt.mu.Lock()
+	muts := make([]*Mutator, len(rt.mutators))
+	copy(muts, rt.mutators)
+	rt.mu.Unlock()
+	l := machine.Ledger{}
+	for _, m := range muts {
+		l.MutatorCycles = append(l.MutatorCycles, m.Cycles())
+	}
+	st := rt.Collector.Stats()
+	l.GCCycles = st.GCWorkerCycles
+	l.PauseCycles = st.TotalPauseCycles
+	return l
+}
+
+// ExecSeconds returns the simulated wall-clock execution time so far.
+func (rt *Runtime) ExecSeconds() float64 {
+	return rt.Machine.ExecSeconds(rt.Ledger())
+}
+
+// MemStats snapshots the process-wide cache counters (perf analogue).
+// Returns the zero value when the memory model is disabled.
+func (rt *Runtime) MemStats() MemStats {
+	if rt.Mem == nil {
+		return MemStats{}
+	}
+	return rt.Mem.Stats()
+}
+
+// GC runs one synchronous collection cycle (no mutator may be running on
+// the calling goroutine; use Mutator.RequestGC from mutator context).
+func (rt *Runtime) GC() {
+	rt.Collector.Collect("explicit")
+}

@@ -1,0 +1,123 @@
+package hcsgc
+
+import (
+	"testing"
+)
+
+func TestRuntimeDefaults(t *testing.T) {
+	rt := MustNewRuntime(Options{})
+	defer rt.Close()
+	if rt.Heap.MaxBytes() != 256<<20 {
+		t.Errorf("default heap = %d", rt.Heap.MaxBytes())
+	}
+	if rt.Mem == nil {
+		t.Error("memory model should default on")
+	}
+	if rt.Machine.Cores != 4 {
+		t.Errorf("default machine cores = %d", rt.Machine.Cores)
+	}
+}
+
+func TestRuntimeInvalidKnobs(t *testing.T) {
+	if _, err := NewRuntime(Options{Knobs: Knobs{ColdPage: true}}); err == nil {
+		t.Fatal("invalid knobs must be rejected")
+	}
+}
+
+func TestRuntimeEndToEnd(t *testing.T) {
+	rt := MustNewRuntime(Options{
+		HeapMaxBytes: 64 << 20,
+		Knobs:        Knobs{Hotness: true, ColdPage: true, ColdConfidence: 1.0, LazyRelocate: true},
+	})
+	defer rt.Close()
+	node := rt.Types.Register("node", 2, []int{0})
+	m := rt.NewMutator(4)
+	defer m.Close()
+
+	// Build, collect, touch, collect, verify.
+	const n = 5000
+	arr := m.AllocRefArray(n)
+	m.SetRoot(0, arr)
+	for i := 0; i < n; i++ {
+		obj := m.Alloc(node)
+		m.StoreField(obj, 1, uint64(i))
+		m.StoreRef(m.LoadRoot(0), i, obj)
+	}
+	m.RequestGC()
+	for i := 0; i < n; i += 2 {
+		m.LoadRef(m.LoadRoot(0), i)
+	}
+	m.RequestGC()
+	for i := 0; i < n; i++ {
+		obj := m.LoadRef(m.LoadRoot(0), i)
+		if got := m.LoadField(obj, 1); got != uint64(i) {
+			t.Fatalf("object %d payload = %d", i, got)
+		}
+		if i%128 == 0 {
+			m.Safepoint()
+		}
+	}
+
+	if rt.Collector.Cycles() != 2 {
+		t.Errorf("cycles = %d, want 2", rt.Collector.Cycles())
+	}
+	if rt.ExecSeconds() <= 0 {
+		t.Error("execution time must be positive")
+	}
+	ms := rt.MemStats()
+	if ms.Loads == 0 || ms.LLCMisses == 0 {
+		t.Error("cache model should have observed traffic")
+	}
+	st := rt.Collector.Stats()
+	if len(st.Cycles) != 2 {
+		t.Errorf("stats cycles = %d", len(st.Cycles))
+	}
+}
+
+func TestRuntimeDisableMemModel(t *testing.T) {
+	rt := MustNewRuntime(Options{DisableMemModel: true})
+	defer rt.Close()
+	m := rt.NewMutator(2)
+	defer m.Close()
+	obj := m.AllocWordArray(10)
+	m.StoreField(obj, 0, 1)
+	if m.LoadField(obj, 0) != 1 {
+		t.Fatal("heap must work without memory model")
+	}
+	if got := rt.MemStats(); got.Loads != 0 {
+		t.Fatal("disabled memory model must report zero stats")
+	}
+}
+
+func TestRuntimeLedgerCollectsAllMutators(t *testing.T) {
+	rt := MustNewRuntime(Options{})
+	defer rt.Close()
+	a := rt.NewMutator(1)
+	b := rt.NewMutator(1)
+	a.AllocWordArray(5)
+	b.AllocWordArray(5)
+	a.Close()
+	b.Close()
+	l := rt.Ledger()
+	if len(l.MutatorCycles) != 2 {
+		t.Fatalf("ledger mutators = %d, want 2 (closed mutators still count)", len(l.MutatorCycles))
+	}
+	if l.MutatorCycles[0] == 0 || l.MutatorCycles[1] == 0 {
+		t.Fatal("mutator cycles must be recorded")
+	}
+}
+
+func TestRuntimeDoubleCloseSafe(t *testing.T) {
+	rt := MustNewRuntime(Options{StartDriver: true})
+	rt.Close()
+	rt.Close()
+}
+
+func TestRuntimeExplicitGC(t *testing.T) {
+	rt := MustNewRuntime(Options{})
+	defer rt.Close()
+	rt.GC()
+	if rt.Collector.Cycles() != 1 {
+		t.Fatal("explicit GC must run a cycle")
+	}
+}

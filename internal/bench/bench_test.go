@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hcsgc"
+)
+
+func TestKnobsForMatchesTable2(t *testing.T) {
+	// Spot-check every distinguishing column of Table 2.
+	cases := []struct {
+		config int
+		want   hcsgc.Knobs
+	}{
+		{0, hcsgc.Knobs{}},
+		{1, hcsgc.Knobs{}},
+		{2, hcsgc.Knobs{LazyRelocate: true}},
+		{3, hcsgc.Knobs{RelocateAllSmallPages: true}},
+		{4, hcsgc.Knobs{RelocateAllSmallPages: true, LazyRelocate: true}},
+		{5, hcsgc.Knobs{Hotness: true}},
+		{6, hcsgc.Knobs{Hotness: true, ColdConfidence: 0.5}},
+		{7, hcsgc.Knobs{Hotness: true, ColdConfidence: 1.0}},
+		{8, hcsgc.Knobs{Hotness: true, LazyRelocate: true}},
+		{9, hcsgc.Knobs{Hotness: true, ColdConfidence: 0.5, LazyRelocate: true}},
+		{10, hcsgc.Knobs{Hotness: true, ColdConfidence: 1.0, LazyRelocate: true}},
+		{11, hcsgc.Knobs{Hotness: true, ColdPage: true}},
+		{12, hcsgc.Knobs{Hotness: true, ColdPage: true, ColdConfidence: 0.5}},
+		{13, hcsgc.Knobs{Hotness: true, ColdPage: true, ColdConfidence: 1.0}},
+		{14, hcsgc.Knobs{Hotness: true, ColdPage: true, LazyRelocate: true}},
+		{15, hcsgc.Knobs{Hotness: true, ColdPage: true, ColdConfidence: 0.5, LazyRelocate: true}},
+		{16, hcsgc.Knobs{Hotness: true, ColdPage: true, ColdConfidence: 1.0, LazyRelocate: true}},
+		{17, hcsgc.Knobs{Hotness: true, ColdPage: true, RelocateAllSmallPages: true}},
+		{18, hcsgc.Knobs{Hotness: true, ColdPage: true, RelocateAllSmallPages: true, LazyRelocate: true}},
+	}
+	for _, tc := range cases {
+		if got := KnobsFor(tc.config); got != tc.want {
+			t.Errorf("config %d: knobs = %+v, want %+v", tc.config, got, tc.want)
+		}
+	}
+}
+
+func TestAllConfigsValid(t *testing.T) {
+	for _, c := range AllConfigs() {
+		if err := KnobsFor(c).Validate(); err != nil {
+			t.Errorf("config %d invalid: %v", c, err)
+		}
+	}
+	if len(AllConfigs()) != 19 {
+		t.Fatal("Table 2 has 19 configs")
+	}
+}
+
+func TestKnobsForPanicsOutOfRange(t *testing.T) {
+	for _, c := range []int{-1, 19} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KnobsFor(%d) did not panic", c)
+				}
+			}()
+			KnobsFor(c)
+		}()
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	spec := Spec{
+		ID:      "fig4",
+		Title:   "test",
+		Runs:    3,
+		Scale:   0.01,
+		Configs: []int{0, 4},
+		Seed:    7,
+	}
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerConfig) != 2 {
+		t.Fatalf("per-config results = %d", len(res.PerConfig))
+	}
+	base := res.Baseline()
+	if base == nil || base.Config != 0 {
+		t.Fatal("baseline missing")
+	}
+	if base.TimeVsBaseline != 0 {
+		t.Fatal("baseline delta must be 0")
+	}
+	for _, cr := range res.PerConfig {
+		if len(cr.Times) != 3 {
+			t.Fatalf("config %d: %d runs", cr.Config, len(cr.Times))
+		}
+		if cr.Boot.Mean <= 0 {
+			t.Fatalf("config %d: non-positive mean", cr.Config)
+		}
+	}
+	if len(res.HeapSeries) == 0 {
+		t.Fatal("heap series missing")
+	}
+	if len(res.Checks) != 3 {
+		t.Fatal("per-run checksums missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run(Spec{ID: "nope"}, nil); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestSpecsCoverAllFigures(t *testing.T) {
+	specs := Specs()
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		s, ok := specs[id]
+		if !ok {
+			t.Errorf("missing spec %s", id)
+			continue
+		}
+		if s.Runs <= 0 || s.Title == "" {
+			t.Errorf("spec %s incomplete: %+v", id, s)
+		}
+	}
+	if len(ExperimentIDs()) != 13 {
+		t.Error("3 tables + 10 figures expected")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	spec := Spec{ID: "fig4", Title: "t", Runs: 2, Scale: 0.01, Configs: []int{0, 3}, Seed: 1}
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, &res)
+	out := buf.String()
+	for _, want := range []string{"FIG4", "0 (ZGC)", "vsZGC", "gc-cycles", "heap usage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	WriteCSV(&csv, &res)
+	if lines := strings.Count(csv.String(), "\n"); lines != 3 {
+		t.Errorf("CSV lines = %d, want header + 2 configs", lines)
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable1(&buf)
+	if !strings.Contains(buf.String(), "2 MB") || !strings.Contains(buf.String(), "256 KB") {
+		t.Errorf("table1 wrong:\n%s", buf.String())
+	}
+	buf.Reset()
+	WriteTable2(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "ColdConfidence") || !strings.Contains(out, "LazyRelocate") {
+		t.Errorf("table2 wrong:\n%s", out)
+	}
+	buf.Reset()
+	WriteTable3(&buf, 0.02)
+	if !strings.Contains(buf.String(), "uk(CC)") || !strings.Contains(buf.String(), "900002") {
+		t.Errorf("table3 wrong:\n%s", buf.String())
+	}
+}
+
+func TestScoreMetricsReport(t *testing.T) {
+	spec := Spec{ID: "fig13", Title: "t", Runs: 2, Scale: 0.01, Configs: []int{0, 5}, Seed: 1,
+		ScoreMetrics: []string{"max-jOPS", "critical-jOPS"}}
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, &res)
+	if !strings.Contains(buf.String(), "max-jOPS") {
+		t.Errorf("score report missing metric:\n%s", buf.String())
+	}
+	for _, cr := range res.PerConfig {
+		if cr.ScoreBoots["max-jOPS"].Mean <= 0 {
+			t.Errorf("config %d: max-jOPS bootstrap missing", cr.Config)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package bench is the evaluation harness: it enumerates the paper's 19
+// configurations (Table 2), runs each workload N times per configuration,
+// applies the §4.2 statistics (box plots, 10,000-resample bootstrap means
+// with 95% CIs, normalisation against Config 0), and renders the rows and
+// series behind every table and figure of the evaluation.
+package bench
+
+import (
+	"fmt"
+
+	"hcsgc"
+)
+
+// NumConfigs is the number of columns in Table 2 (Config 0 = unmodified
+// ZGC baseline, 1–18 = HCSGC knob combinations).
+const NumConfigs = 19
+
+// KnobsFor returns the Table 2 knob setting for a config id.
+//
+//	                     0  1  2  3  4  5  6   7   8  9   10  11 12  13  14 15  16  17 18
+//	Hotness              -  0  0  0  0  1  1   1   1  1   1   1  1   1   1  1   1   1  1
+//	ColdPage             -  0  0  0  0  0  0   0   0  0   0   1  1   1   1  1   1   1  1
+//	ColdConfidence       -  0  0  0  0  0  .5  1   0  .5  1   0  .5  1   0  .5  1   0  0
+//	RelocateAllSmall     -  0  0  1  1  0  0   0   0  0   0   0  0   0   0  0   0   1  1
+//	LazyRelocate         -  0  1  0  1  0  0   0   1  1   1   0  0   0   1  1   1   0  1
+func KnobsFor(config int) hcsgc.Knobs {
+	if config < 0 || config >= NumConfigs {
+		panic(fmt.Sprintf("bench: config %d outside [0,%d)", config, NumConfigs))
+	}
+	k := hcsgc.Knobs{}
+	if config >= 5 {
+		k.Hotness = true
+	}
+	if config >= 11 {
+		k.ColdPage = true
+	}
+	switch config {
+	case 6, 9, 12, 15:
+		k.ColdConfidence = 0.5
+	case 7, 10, 13, 16:
+		k.ColdConfidence = 1.0
+	}
+	switch config {
+	case 3, 4, 17, 18:
+		k.RelocateAllSmallPages = true
+	}
+	switch config {
+	case 2, 4, 8, 9, 10, 14, 15, 16, 18:
+		k.LazyRelocate = true
+	}
+	return k
+}
+
+// AllConfigs returns 0..18.
+func AllConfigs() []int {
+	out := make([]int, NumConfigs)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ConfigLabel names a config for reports.
+func ConfigLabel(config int) string {
+	if config == 0 {
+		return "0 (ZGC)"
+	}
+	return fmt.Sprintf("%d", config)
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"testing"
+
+	"hcsgc/internal/machine"
+	"hcsgc/internal/workloads"
+)
+
+// These tests pin the paper's qualitative claims as regressions: not
+// absolute numbers, but who wins. They run miniature sweeps, so they are
+// skipped in -short mode.
+
+// run3 runs a workload 3 times under a config and returns the mean
+// simulated execution time.
+func run3(t *testing.T, id string, config int, scale float64) float64 {
+	t.Helper()
+	w, err := workloads.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for r := 0; r < 3; r++ {
+		res := w.Run(workloads.RunConfig{
+			Knobs: KnobsFor(config),
+			Seed:  int64(r + 1),
+			Scale: scale,
+		})
+		sum += res.ExecSeconds
+	}
+	return sum / 3
+}
+
+// TestShapeFig4LazyLargeECWins: the paper's best synthetic family
+// (all-pages + lazy, Config 4) must beat baseline clearly, and the
+// do-nothing config (lazy only, Config 2) must not differ much.
+func TestShapeFig4LazyLargeECWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape sweep")
+	}
+	const scale = 0.04
+	base := run3(t, "fig4", 0, scale)
+	cfg4 := run3(t, "fig4", 4, scale)
+	cfg2 := run3(t, "fig4", 2, scale)
+	if cfg4 >= base*0.95 {
+		t.Errorf("config 4 = %.4fs vs baseline %.4fs; want >=5%% win", cfg4, base)
+	}
+	if d := (cfg2 - base) / base; d < -0.05 || d > 0.05 {
+		t.Errorf("config 2 delta = %+.1f%%, want ~0 (paper: no improvement)", d*100)
+	}
+}
+
+// TestShapeFig6OverloadInverts: on one core with a big cold array,
+// RELOCATEALLSMALLPAGES (Config 3) must LOSE to baseline, while
+// COLDCONFIDENCE=1.0 (Config 7) must stay close.
+func TestShapeFig6OverloadInverts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape sweep")
+	}
+	// Large enough that the cold array dwarfs the caches and garbage
+	// triggers GC cycles; below ~0.02 no cycle fires and all configs tie.
+	const scale = 0.03
+	base := run3(t, "fig6", 0, scale)
+	cfg3 := run3(t, "fig6", 3, scale)
+	cfg7 := run3(t, "fig6", 7, scale)
+	if cfg3 <= base*1.05 {
+		t.Errorf("config 3 = %.4fs vs baseline %.4fs; want a clear slowdown (Fig. 6)", cfg3, base)
+	}
+	// The paper's claim is relative: COLDCONFIDENCE avoids the overhead
+	// that RELOCATEALLSMALLPAGES pays (all-cold pages keep WLB = live
+	// bytes and are never selected). An absolute bound would be flaky at
+	// 3 runs under host load.
+	if cfg7 >= cfg3 {
+		t.Errorf("config 7 (%.4fs) must stay below config 3 (%.4fs): cold-confidence avoids the Fig. 6 overhead", cfg7, cfg3)
+	}
+}
+
+// TestShapeFig13Inconclusive: SPECjbb scores must overlap between baseline
+// and a heavy HCSGC config (the paper's inconclusive result).
+func TestShapeFig13Inconclusive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape sweep")
+	}
+	res, err := Run(Spec{
+		ID: "fig13", Title: "shape", Runs: 3, Scale: 0.05,
+		Configs: []int{0, 16}, Seed: 2,
+		ScoreMetrics: []string{"max-jOPS"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.PerConfig[0].ScoreBoots["max-jOPS"]
+	hcs := res.PerConfig[1].ScoreBoots["max-jOPS"]
+	if !base.Overlaps(hcs) {
+		t.Errorf("SPECjbb CIs disjoint: base [%f,%f] vs hcs [%f,%f]; paper reports overlap",
+			base.CILow, base.CIHigh, hcs.CILow, hcs.CIHigh)
+	}
+}
+
+// TestShapeMachineModelDrivesFig6: the same cold-array workload on the
+// 4-thread laptop model must NOT show Config 3's single-core overhead —
+// the inversion is a scheduling effect, not a cache effect.
+func TestShapeMachineModelDrivesFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape sweep")
+	}
+	w, _ := workloads.Get("fig6")
+	run := func(config int, mach machine.Model) float64 {
+		var sum float64
+		for r := 0; r < 3; r++ {
+			res := w.Run(workloads.RunConfig{
+				Knobs:   KnobsFor(config),
+				Machine: mach,
+				Seed:    int64(r + 1),
+				Scale:   0.01,
+			})
+			sum += res.ExecSeconds
+		}
+		return sum / 3
+	}
+	base := run(0, machine.Laptop())
+	cfg3 := run(3, machine.Laptop())
+	if cfg3 > base*1.25 {
+		t.Errorf("config 3 on 4 threads = %.4fs vs %.4fs; the Fig. 6 overhead should mostly hide on idle cores", cfg3, base)
+	}
+}

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hcsgc/internal/heap"
+	"hcsgc/internal/objmodel"
+	"hcsgc/internal/simmem"
+)
+
+// Phase is the collector's era between pauses. The good color and phase
+// only change inside stop-the-world pauses, so mutators observe both as
+// stable between their safepoints.
+type Phase uint32
+
+// The phases. There is no separate idle phase: before the first cycle the
+// collector is in PhaseRelocate with an empty evacuation set and good
+// color R, which makes the first STW1 flip behave like every later one.
+const (
+	// PhaseMark spans STW1 to STW3: marking plus EC selection. The good
+	// color is M0 or M1.
+	PhaseMark Phase = iota
+	// PhaseRelocate spans STW3 to the next STW1. The good color is R.
+	PhaseRelocate
+)
+
+// Collector is the HCSGC collector instance for one heap.
+type Collector struct {
+	heap  *heap.Heap
+	types *objmodel.Registry
+	cfg   Config
+
+	sp    *safepoints
+	good  atomic.Uint64 // current good color (heap.Color bits)
+	phase atomic.Uint32
+	// markColorM1 alternates the mark color between cycles (Fig. 2).
+	markColorM1 bool
+	// startSeq is the page sequence snapshot taken at STW1; pages with
+	// Seq <= startSeq are "allocated prior to STW1" and subject to
+	// livemap accounting and EC selection.
+	startSeq atomic.Uint64
+
+	pool      *markPool
+	workers   []*gcWorker
+	pauseCtx  *relocCtx // relocation context for STW3 root relocation
+	pauseCore *simmem.Core
+	// pauseExtra is the non-memory cost ledger for STW work; only the
+	// collector touches it, and only inside pauses.
+	pauseExtra uint64
+
+	mutMu sync.Mutex
+	muts  map[*Mutator]struct{}
+
+	// Shared medium-page allocation (mutators and relocation).
+	medMu   sync.Mutex
+	medPage *heap.Page
+
+	// ecPages is the current relocation set; ecCursor is the worker claim
+	// index during the drain.
+	ecPages  []*heap.Page
+	ecCursor atomic.Int64
+	// relocWG tracks an in-flight non-lazy GC drain.
+	relocWG sync.WaitGroup
+	// pendingDrop holds evacuated pages whose forwarding tables are
+	// dropped at the end of the next mark, as in ZGC.
+	pendingDrop []*heap.Page
+
+	// cycleMu serializes GC cycles ("no overlapping ZGC cycles").
+	cycleMu sync.Mutex
+	cycles  atomic.Uint64
+
+	stats        statsLog
+	effConf      atomic.Uint64 // effective ColdConfidence (bits of float64), for AutoTune
+	lastTuneMiss float64
+
+	driverStop chan struct{}
+	driverDone chan struct{}
+}
+
+// New creates a collector for the given heap and type registry.
+func New(h *heap.Heap, types *objmodel.Registry, cfg Config) (*Collector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Knobs.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		heap:  h,
+		types: types,
+		cfg:   cfg,
+		sp:    newSafepoints(),
+		pool:  newMarkPool(),
+		muts:  make(map[*Mutator]struct{}),
+	}
+	c.good.Store(uint64(heap.ColorRemapped))
+	c.phase.Store(uint32(PhaseRelocate))
+	c.setEffConf(cfg.Knobs.ColdConfidence)
+	for i := 0; i < cfg.GCWorkers; i++ {
+		c.workers = append(c.workers, newGCWorker(c, i))
+	}
+	if h.Mem() != nil {
+		c.pauseCore = h.Mem().NewCore()
+	}
+	c.pauseCtx = &relocCtx{c: c, core: c.pauseCore, byMutator: false}
+	return c, nil
+}
+
+// MustNew is New but panics on configuration error.
+func MustNew(h *heap.Heap, types *objmodel.Registry, cfg Config) *Collector {
+	c, err := New(h, types, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Heap returns the managed heap.
+func (c *Collector) Heap() *heap.Heap { return c.heap }
+
+// Types returns the type registry.
+func (c *Collector) Types() *objmodel.Registry { return c.types }
+
+// Config returns the effective configuration.
+func (c *Collector) Config() Config { return c.cfg }
+
+// Good returns the current good color.
+func (c *Collector) Good() heap.Color { return heap.Color(c.good.Load()) }
+
+// CurrentPhase returns the collector's phase.
+func (c *Collector) CurrentPhase() Phase { return Phase(c.phase.Load()) }
+
+// Cycles returns the number of completed GC cycles.
+func (c *Collector) Cycles() uint64 { return c.cycles.Load() }
+
+// Collect runs one full GC cycle synchronously. It serializes with other
+// cycles; calling it concurrently is allowed (the loser simply runs the
+// next cycle after the winner finishes).
+func (c *Collector) Collect(reason string) {
+	c.cycleMu.Lock()
+	defer c.cycleMu.Unlock()
+	c.runCycle(reason)
+}
+
+// collectIfDue runs a cycle only if no cycle completed since prev,
+// coalescing concurrent triggers (used by allocation stalls).
+func (c *Collector) collectIfDue(prev uint64, reason string) {
+	c.cycleMu.Lock()
+	defer c.cycleMu.Unlock()
+	if c.cycles.Load() != prev {
+		return
+	}
+	c.runCycle(reason)
+}
+
+// runCycle executes one HCSGC cycle. Caller holds cycleMu.
+//
+// ZGC order:   STW1, M/R, STW2, EC, STW3, RE
+// HCSGC lazy:  RE (leftover from previous cycle), STW1, M/R, STW2, EC, STW3
+func (c *Collector) runCycle(reason string) {
+	cs := &CycleStats{Seq: c.cycles.Load() + 1, Trigger: reason, HeapUsedBefore: c.heap.UsedPercent()}
+
+	// --- RE completion. In lazy mode the GC-thread share of relocation
+	// was deferred to now (paper Fig. 3: "a GC cycle starts with RE");
+	// otherwise just wait out any drain still running from last cycle.
+	if c.cfg.Knobs.LazyRelocate {
+		c.drainRelocation(cs)
+	}
+	c.relocWG.Wait()
+	c.finishRelocationEra()
+
+	// --- STW1: flip to the mark color, snapshot the page set, reset
+	// live/hot maps, scan roots.
+	c.sp.stopTheWorld()
+	pause1 := c.beginPauseAccounting()
+	c.startSeq.Store(c.heap.CurrentSeq())
+	markColor := heap.ColorMarked0
+	if c.markColorM1 {
+		markColor = heap.ColorMarked1
+	}
+	c.markColorM1 = !c.markColorM1
+	c.good.Store(uint64(markColor))
+	c.phase.Store(uint32(PhaseMark))
+	c.retireAllocationPages()
+	c.heap.LivePages(func(p *heap.Page) {
+		if p.Seq <= c.startSeq.Load() {
+			p.ResetMarks()
+		}
+	})
+	var rootGrays []uint64
+	c.forEachMutator(func(m *Mutator) {
+		for i := range m.roots {
+			rootGrays = c.processRootMark(m, i, rootGrays)
+		}
+	})
+	c.pool.setActive(len(c.workers))
+	c.pool.put(rootGrays)
+	cs.Pause1 = c.endPauseAccounting(pause1)
+	c.sp.resumeTheWorld()
+
+	// --- M/R: concurrent parallel marking with mutator assistance.
+	var markWG sync.WaitGroup
+	for _, w := range c.workers {
+		markWG.Add(1)
+		go func(w *gcWorker) {
+			defer markWG.Done()
+			w.markLoop()
+		}(w)
+	}
+
+	// --- STW2: attempt mark termination until the wavefront is clean.
+	for {
+		c.pool.waitQuiescent()
+		c.sp.stopTheWorld()
+		flushed := false
+		c.forEachMutator(func(m *Mutator) {
+			if len(m.markBuf) > 0 {
+				c.pool.put(m.markBuf)
+				m.markBuf = nil
+				flushed = true
+			}
+		})
+		if !flushed && c.pool.quiescent() {
+			break // world remains stopped: this is STW2
+		}
+		c.sp.resumeTheWorld()
+	}
+	pause2 := c.beginPauseAccounting()
+	c.pool.terminate()
+	markWG.Wait()
+	// Mark end: no stale pointers remain in the heap, so the previous
+	// era's forwarding tables can be dropped and their backing recycled.
+	for _, p := range c.pendingDrop {
+		c.heap.DropPage(p)
+	}
+	c.pendingDrop = nil
+	cs.Pause2 = c.endPauseAccounting(pause2)
+	cs.MarkedBytes = c.totalMarkedBytes()
+	c.sp.resumeTheWorld()
+
+	// --- EC selection (concurrent with mutators).
+	c.selectEvacuationCandidates(cs)
+
+	// --- STW3: flip to R, relocate/heal all roots.
+	c.sp.stopTheWorld()
+	pause3 := c.beginPauseAccounting()
+	c.good.Store(uint64(heap.ColorRemapped))
+	c.phase.Store(uint32(PhaseRelocate))
+	c.forEachMutator(func(m *Mutator) {
+		for i := range m.roots {
+			c.processRootRelocate(m, i)
+		}
+	})
+	cs.Pause3 = c.endPauseAccounting(pause3)
+	c.sp.resumeTheWorld()
+
+	// --- RE: in the original ZGC schedule, GC threads race mutators for
+	// relocation right away; with LAZYRELOCATE they stand down until the
+	// next cycle starts.
+	if !c.cfg.Knobs.LazyRelocate && len(c.ecPages) > 0 {
+		c.ecCursor.Store(0)
+		for _, w := range c.workers {
+			c.relocWG.Add(1)
+			go func(w *gcWorker) {
+				defer c.relocWG.Done()
+				w.drainLoop(cs)
+			}(w)
+		}
+	}
+
+	cs.HeapUsedAfter = c.heap.UsedPercent()
+	c.cycles.Add(1)
+	c.stats.append(cs)
+	if c.cfg.Knobs.AutoTune {
+		c.autoTune()
+	}
+}
+
+// finishRelocationEra moves the fully drained evacuation set into
+// pendingDrop, to be dropped at the coming mark end. The GC drain has
+// relocated-or-observed every live object by now, but a mutator that won a
+// forwarding race may still be between its CAS and its remaining-count
+// decrement; wait out that window (it spans a few instructions of a
+// running, never-parked barrier slow path).
+func (c *Collector) finishRelocationEra() {
+	for _, p := range c.ecPages {
+		for spins := 0; p.Remaining() > 0; spins++ {
+			if spins > 1_000_000 {
+				panic(fmt.Sprintf("core: relocation era stuck with %d objects left on %v", p.Remaining(), p))
+			}
+			runtime.Gosched()
+		}
+		c.pendingDrop = append(c.pendingDrop, p)
+	}
+	c.ecPages = nil
+}
+
+// drainRelocation relocates every remaining live object in the current
+// evacuation set using the GC workers (the lazy-mode cycle-start RE).
+func (c *Collector) drainRelocation(cs *CycleStats) {
+	if len(c.ecPages) == 0 {
+		return
+	}
+	c.ecCursor.Store(0)
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *gcWorker) {
+			defer wg.Done()
+			w.drainLoop(cs)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// retireAllocationPages detaches every allocation target page (mutator
+// TLABs, GC relocation targets, the shared medium page) so that pages
+// allocated before STW1 are frozen: nothing allocates into them again and
+// their livemaps are authoritative after marking.
+func (c *Collector) retireAllocationPages() {
+	c.forEachMutator(func(m *Mutator) { m.tlab = nil })
+	for _, w := range c.workers {
+		w.ctx.hotPage, w.ctx.coldPage = nil, nil
+	}
+	c.pauseCtx.hotPage, c.pauseCtx.coldPage = nil, nil
+	c.medMu.Lock()
+	c.medPage = nil
+	c.medMu.Unlock()
+}
+
+// forEachMutator snapshots the mutator set and applies fn.
+func (c *Collector) forEachMutator(fn func(*Mutator)) {
+	c.mutMu.Lock()
+	ms := make([]*Mutator, 0, len(c.muts))
+	for m := range c.muts {
+		ms = append(ms, m)
+	}
+	c.mutMu.Unlock()
+	for _, m := range ms {
+		fn(m)
+	}
+}
+
+// totalMarkedBytes sums live bytes over pages subject to this mark.
+func (c *Collector) totalMarkedBytes() uint64 {
+	var total uint64
+	c.heap.LivePages(func(p *heap.Page) {
+		if p.Seq <= c.startSeq.Load() {
+			total += p.LiveBytes()
+		}
+	})
+	return total
+}
+
+// --- pause accounting -------------------------------------------------
+
+// beginPauseAccounting snapshots the pause core's cycle counter plus the
+// explicit pause cost ledger.
+func (c *Collector) beginPauseAccounting() uint64 {
+	var base uint64
+	if c.pauseCore != nil {
+		base = c.pauseCore.Cycles()
+	}
+	return base + c.pauseExtra
+}
+
+func (c *Collector) endPauseAccounting(base uint64) uint64 {
+	var cur uint64
+	if c.pauseCore != nil {
+		cur = c.pauseCore.Cycles()
+	}
+	return cur + c.pauseExtra - base
+}
+
+// selectEvacuationCandidates implements §3.1: baseline live-ratio
+// selection, RELOCATEALLSMALLPAGES, and weighted-live-bytes selection with
+// COLDCONFIDENCE. Empty pages (and dead large pages) are reclaimed
+// immediately, as in ZGC.
+func (c *Collector) selectEvacuationCandidates(cs *CycleStats) {
+	startSeq := c.startSeq.Load()
+	knobs := c.cfg.Knobs
+	conf := 0.0
+	if knobs.Hotness {
+		conf = c.effectiveConf()
+	}
+	type cand struct {
+		p   *heap.Page
+		wlb uint64
+	}
+	var cands []cand
+	c.heap.LivePages(func(p *heap.Page) {
+		if p.Seq > startSeq || p.Freed() {
+			return
+		}
+		switch p.Class() {
+		case heap.ClassLarge:
+			// A large page holds one object: live or dead, decided here.
+			if p.LiveBytes() == 0 {
+				c.heap.FreePage(p)
+				c.heap.DropPage(p)
+				cs.PagesFreedEmpty++
+			}
+		case heap.ClassMedium:
+			// Medium pages use the original ZGC criterion (paper §3.4:
+			// hotness and the new knobs apply to small pages only).
+			if p.LiveObjects() == 0 {
+				c.heap.FreePage(p)
+				c.heap.DropPage(p)
+				cs.PagesFreedEmpty++
+			} else if p.LiveRatio() < c.cfg.EvacThreshold {
+				cands = append(cands, cand{p, p.LiveBytes()})
+			}
+		case heap.ClassSmall, heap.ClassTiny:
+			if p.LiveObjects() == 0 {
+				c.heap.FreePage(p)
+				c.heap.DropPage(p)
+				cs.PagesFreedEmpty++
+				return
+			}
+			if knobs.RelocateAllSmallPages {
+				cands = append(cands, cand{p, p.WeightedLiveBytes(conf)})
+				return
+			}
+			wlb := p.WeightedLiveBytes(conf)
+			if float64(wlb)/float64(p.Size()) < c.cfg.EvacThreshold {
+				cands = append(cands, cand{p, wlb})
+			}
+		}
+	})
+	// Sort ascending by weighted live bytes and select. The paper's
+	// N-maximisation constraint admits every page below the threshold once
+	// candidates are individually below it (see DESIGN.md), so selection
+	// takes all candidates, cheapest first.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].wlb < cands[j].wlb })
+	c.ecPages = c.ecPages[:0]
+	for _, cd := range cands {
+		cd.p.SelectForEvacuation()
+		c.ecPages = append(c.ecPages, cd.p)
+		switch cd.p.Class() {
+		case heap.ClassMedium:
+			cs.ECMedium++
+		default:
+			cs.ECSmall++
+			cs.ECSmallLiveBytes += cd.p.LiveBytes()
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package core implements HCSGC: a ZGC-style non-generational, mostly
+// concurrent, parallel, mark-compact, region-based collector (paper §2)
+// extended with hotness tracking, weighted-live-bytes evacuation selection,
+// lazy relocation and hot/cold segregation (paper §3).
+//
+// The collector manages the simulated heap from internal/heap. Mutators
+// are registered handles whose every object access goes through the load
+// barrier, feeding the simmem cache model, so the layout this collector
+// produces directly determines the locality measurements reported by the
+// benchmark harness.
+package core
+
+import "fmt"
+
+// Knobs are the five HCSGC tuning knobs of Table 2 plus the extension
+// options the paper lists as future work. The zero value is the original
+// ZGC behaviour (Config 0/1).
+type Knobs struct {
+	// Hotness records object hotness in the hotmap (paper §3.1.2). The
+	// bookkeeping costs a CAS on the slow path (modelled via
+	// CostModel.HotmapCAS).
+	Hotness bool
+	// ColdPage gives each GC worker a second thread-local relocation
+	// target page for cold objects (paper §3.3). Requires Hotness.
+	ColdPage bool
+	// ColdConfidence in [0,1] weighs cold bytes when computing weighted
+	// live bytes for EC selection (paper §3.1.3). 0 matches ZGC; 1 treats
+	// cold objects as garbage for selection purposes. Requires Hotness to
+	// have any effect.
+	ColdConfidence float64
+	// RelocateAllSmallPages puts every small page in EC (paper §3.1.1).
+	RelocateAllSmallPages bool
+	// LazyRelocate defers GC-thread relocation to the start of the next
+	// cycle so mutators win relocation races (paper §3.2, Fig. 3).
+	LazyRelocate bool
+
+	// TinyPages enables the future-work cache-line-magnitude page class
+	// (paper §3.4/§4.8 extension; off in all paper configurations).
+	TinyPages bool
+	// AutoTune enables the future-work feedback loop that backs
+	// ColdConfidence off when relocation shows no miss-rate improvement
+	// (paper §4.8 extension; off in all paper configurations).
+	AutoTune bool
+}
+
+// Validate reports knob combinations the paper forbids.
+func (k Knobs) Validate() error {
+	if k.ColdPage && !k.Hotness {
+		return fmt.Errorf("core: ColdPage requires Hotness (paper §3.3)")
+	}
+	if k.ColdConfidence != 0 && !k.Hotness {
+		return fmt.Errorf("core: ColdConfidence requires Hotness (paper §4.1)")
+	}
+	if k.ColdConfidence < 0 || k.ColdConfidence > 1 {
+		return fmt.Errorf("core: ColdConfidence %v outside [0,1]", k.ColdConfidence)
+	}
+	return nil
+}
+
+// String renders the knobs compactly, e.g. "H+CP cc=0.5 lazy".
+func (k Knobs) String() string {
+	s := ""
+	if k.Hotness {
+		s += "H"
+	}
+	if k.ColdPage {
+		s += "+CP"
+	}
+	if k.ColdConfidence != 0 {
+		s += fmt.Sprintf(" cc=%g", k.ColdConfidence)
+	}
+	if k.RelocateAllSmallPages {
+		s += " all"
+	}
+	if k.LazyRelocate {
+		s += " lazy"
+	}
+	if s == "" {
+		s = "zgc"
+	}
+	return s
+}
+
+// CostModel holds the abstract cycle costs of collector operations that
+// are not plain memory accesses (those come from the cache model). The
+// values are small constants; their ratios, not absolute values, shape the
+// results.
+type CostModel struct {
+	// BarrierFast is charged on every reference load (the "no additional
+	// work" fast path is one test+branch).
+	BarrierFast uint64
+	// BarrierSlow is the slow-path dispatch overhead, excluding the memory
+	// traffic it causes (which the cache model charges).
+	BarrierSlow uint64
+	// HotmapCAS is the cost of recording hotness ("in its current
+	// implementation involves a CAS operation", §4.1).
+	HotmapCAS uint64
+	// RelocSetup is the per-object overhead of relocating (forwarding
+	// insert, accounting), excluding the copy's memory traffic.
+	RelocSetup uint64
+	// RootProcess is the per-root STW cost.
+	RootProcess uint64
+	// Alloc is the bump-allocation cost.
+	Alloc uint64
+}
+
+// DefaultCosts returns the cost model used throughout the evaluation.
+func DefaultCosts() CostModel {
+	return CostModel{
+		BarrierFast: 1,
+		BarrierSlow: 10,
+		HotmapCAS:   6,
+		RelocSetup:  20,
+		RootProcess: 10,
+		Alloc:       4,
+	}
+}
+
+// Config configures a collector instance.
+type Config struct {
+	Knobs Knobs
+	Costs CostModel
+	// GCWorkers is the number of concurrent GC threads (mark and
+	// relocate). Zero means 2, matching the 2-core laptop setup.
+	GCWorkers int
+	// EvacThreshold is the live-ratio (or WLB-ratio) below which a page is
+	// an evacuation candidate. The paper uses 75%.
+	EvacThreshold float64
+	// TriggerPercent is the heap occupancy that starts a GC cycle.
+	TriggerPercent float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.GCWorkers <= 0 {
+		c.GCWorkers = 2
+	}
+	if c.EvacThreshold == 0 {
+		c.EvacThreshold = 0.75
+	}
+	if c.TriggerPercent == 0 {
+		c.TriggerPercent = 70
+	}
+	if c.Costs == (CostModel{}) {
+		c.Costs = DefaultCosts()
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// StartDriver launches the background GC trigger: a goroutine that starts
+// a cycle whenever heap occupancy reaches Config.TriggerPercent. It is the
+// analogue of ZGC's directed heuristics, reduced to the occupancy rule the
+// paper's workloads exercise.
+func (c *Collector) StartDriver() {
+	if c.driverStop != nil {
+		return
+	}
+	c.driverStop = make(chan struct{})
+	c.driverDone = make(chan struct{})
+	go func() {
+		defer close(c.driverDone)
+		ticker := time.NewTicker(200 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.driverStop:
+				return
+			case <-ticker.C:
+				if c.heap.UsedPercent() >= c.cfg.TriggerPercent {
+					if c.cycleMu.TryLock() {
+						// Re-check under the lock: a stall-triggered cycle
+						// may have just freed memory.
+						if c.heap.UsedPercent() >= c.cfg.TriggerPercent {
+							c.runCycle("occupancy")
+						}
+						c.cycleMu.Unlock()
+					}
+				}
+			}
+		}
+	}()
+}
+
+// StopDriver stops the background trigger and waits for it to exit.
+func (c *Collector) StopDriver() {
+	if c.driverStop == nil {
+		return
+	}
+	close(c.driverStop)
+	<-c.driverDone
+	c.driverStop = nil
+	c.driverDone = nil
+}
+
+// --- AutoTune extension (paper §4.8 future work) -------------------------
+
+// setEffConf stores the effective cold confidence.
+func (c *Collector) setEffConf(v float64) {
+	c.effConf.Store(math.Float64bits(v))
+}
+
+// effectiveConf returns the cold confidence currently in force: the
+// configured value, or the auto-tuned one when AutoTune is enabled.
+func (c *Collector) effectiveConf() float64 {
+	return math.Float64frombits(c.effConf.Load())
+}
+
+// autoTune implements the feedback loop the paper sketches as future work:
+// observe the process LLC miss rate; if segregation helped (miss rate
+// fell), push cold confidence towards the configured maximum for more
+// aggressive segregation, otherwise back off by half.
+func (c *Collector) autoTune() {
+	mem := c.heap.Mem()
+	if mem == nil {
+		return
+	}
+	st := mem.Stats()
+	if st.Loads == 0 {
+		return
+	}
+	missRate := float64(st.LLCMisses) / float64(st.Loads)
+	prev := c.lastTuneMiss
+	c.lastTuneMiss = missRate
+	if prev == 0 {
+		return // first observation: no delta yet
+	}
+	cur := c.effectiveConf()
+	max := c.cfg.Knobs.ColdConfidence
+	if missRate < prev {
+		// Improvement: move towards the configured aggressiveness.
+		c.setEffConf(math.Min(max, cur+0.25*max))
+	} else {
+		c.setEffConf(cur / 2)
+	}
+}

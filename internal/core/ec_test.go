@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hcsgc/internal/heap"
+)
+
+// TestECSelectionLiveRatioThreshold verifies the baseline ZGC rule: small
+// pages below the 75% live-ratio threshold are selected, dense ones are
+// not.
+func TestECSelectionLiveRatioThreshold(t *testing.T) {
+	c, types := testEnv(t, Knobs{})
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(8)
+	defer m.Close()
+
+	// Page A: dense (keep everything). Page B: sparse (keep 1 in 10).
+	// 2MB / 24B = ~87k objects per page; allocate 87k+20k to span two
+	// pages with the second mostly garbage.
+	const dense = 80000
+	arr := m.AllocRefArray(dense + 3000)
+	m.SetRoot(0, arr)
+	for i := 0; i < dense; i++ {
+		obj := m.Alloc(node)
+		m.StoreRef(m.LoadRoot(0), i, obj)
+	}
+	for i := 0; i < 3000; i++ {
+		for j := 0; j < 9; j++ {
+			m.Alloc(node) // garbage
+		}
+		obj := m.Alloc(node)
+		m.StoreRef(m.LoadRoot(0), dense+i, obj)
+	}
+	m.RequestGC()
+	st := c.Stats()
+	cs := st.Cycles[0]
+	if cs.ECSmall == 0 {
+		t.Fatal("sparse page must be selected")
+	}
+	// The dense first page must not be: with ~80k*24B = 1.9MB live on a
+	// 2MB page it is above threshold, so at most the sparse tail pages
+	// are in EC.
+	if cs.ECSmall > 3 {
+		t.Fatalf("EC small = %d; dense pages must not be selected", cs.ECSmall)
+	}
+}
+
+// TestECStatsLiveBytes checks the EC live-byte accounting feeds stats.
+func TestECStatsLiveBytes(t *testing.T) {
+	c, types := testEnv(t, Knobs{RelocateAllSmallPages: true})
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(8)
+	defer m.Close()
+	buildObjectArray(m, node, 1000)
+	m.RequestGC()
+	cs := c.Stats().Cycles[0]
+	if cs.ECSmallLiveBytes < 1000*24 {
+		t.Fatalf("EC live bytes = %d, want >= %d", cs.ECSmallLiveBytes, 1000*24)
+	}
+	if cs.MarkedBytes < cs.ECSmallLiveBytes {
+		t.Fatal("marked bytes must cover EC live bytes")
+	}
+}
+
+// TestMediumPageEvacuation verifies the original ZGC rule applies to
+// medium pages: sparse medium pages are evacuated and survivors remap.
+func TestMediumPageEvacuation(t *testing.T) {
+	c, _ := testEnv(t, Knobs{})
+	m := c.NewMutator(8)
+	defer m.Close()
+	// Two medium objects (500KB each); drop one -> page half dead.
+	a := m.AllocWordArray(64 << 10) // 512KB
+	b := m.AllocWordArray(64 << 10)
+	m.StoreField(a, 100, 7)
+	m.SetRoot(0, a)
+	m.SetRoot(1, b)
+	pageBefore := c.Heap().PageOf(a.Addr())
+	if pageBefore.Class() != heap.ClassMedium {
+		t.Fatal("expected medium page")
+	}
+	m.SetRoot(1, heap.NullRef) // b dies
+	m.RequestGC()
+	c.relocWG.Wait()
+	m.RequestGC() // completes the era; drops forwarding
+	got := m.LoadRoot(0)
+	if m.LoadField(got, 100) != 7 {
+		t.Fatal("medium object corrupted")
+	}
+	if c.Heap().PageOf(got.Addr()) == pageBefore {
+		t.Fatal("sparse medium page should have been evacuated")
+	}
+}
+
+// TestFig2ColorWindows verifies the good-color schedule of the paper's
+// Fig. 2: M0 and M1 alternate between cycles, with R between them.
+func TestFig2ColorWindows(t *testing.T) {
+	c, types := testEnv(t, Knobs{})
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(2)
+	defer m.Close()
+	buildList(m, node, 10)
+
+	if c.Good() != heap.ColorRemapped {
+		t.Fatal("initial good color must be R")
+	}
+	// Observe the mark color of each cycle via the healed root color
+	// DURING the cycle; after the cycle good is R again. We infer
+	// alternation through markColorM1 behaviour: run cycles and check the
+	// collector is consistent (detailed window observation would need a
+	// mid-cycle hook; the alternation bit is internal state we can read).
+	first := c.markColorM1
+	m.RequestGC()
+	if c.markColorM1 == first {
+		t.Fatal("mark color parity must flip each cycle")
+	}
+	m.RequestGC()
+	if c.markColorM1 != first {
+		t.Fatal("mark color parity must alternate M0/M1")
+	}
+	if c.Good() != heap.ColorRemapped || c.CurrentPhase() != PhaseRelocate {
+		t.Fatal("between cycles the good color is R (relocation era)")
+	}
+}
+
+// TestRelocationPreservesRefGraph builds a shared structure (diamond) and
+// checks identity is preserved across relocation: two paths to the same
+// object must still reach one object, not two copies.
+func TestRelocationPreservesRefGraph(t *testing.T) {
+	c, types := testEnv(t, Knobs{RelocateAllSmallPages: true, LazyRelocate: true})
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(8)
+	defer m.Close()
+	shared := m.Alloc(node)
+	m.StoreField(shared, 1, 99)
+	m.SetRoot(2, shared)
+	left := m.Alloc(node)
+	m.StoreRef(left, 0, m.LoadRoot(2))
+	m.SetRoot(0, left)
+	right := m.Alloc(node)
+	m.StoreRef(right, 0, m.LoadRoot(2))
+	m.SetRoot(1, right)
+	m.SetRoot(2, heap.NullRef)
+
+	m.RequestGC()
+	viaLeft := m.LoadRef(m.LoadRoot(0), 0)
+	viaRight := m.LoadRef(m.LoadRoot(1), 0)
+	if viaLeft.Addr() != viaRight.Addr() {
+		t.Fatalf("shared object duplicated: %#x vs %#x", viaLeft.Addr(), viaRight.Addr())
+	}
+	// Mutation through one path must be visible through the other.
+	m.StoreField(viaLeft, 1, 123)
+	if got := m.LoadField(viaRight, 1); got != 123 {
+		t.Fatalf("aliasing broken after relocation: %d", got)
+	}
+}
+
+// TestNullRefsSurviveEverything runs cycles over structures full of null
+// refs; the barrier must never trip on null.
+func TestNullRefsSurviveEverything(t *testing.T) {
+	c, _ := testEnv(t, Knobs{Hotness: true, ColdPage: true, ColdConfidence: 1, LazyRelocate: true})
+	m := c.NewMutator(2)
+	defer m.Close()
+	arr := m.AllocRefArray(1000) // all null
+	m.SetRoot(0, arr)
+	m.RequestGC()
+	for i := 0; i < 1000; i++ {
+		if !m.LoadRef(m.LoadRoot(0), i).IsNull() {
+			t.Fatal("null ref corrupted")
+		}
+	}
+	m.RequestGC()
+}
+
+// TestSelfReferentialObject checks cyclic references survive relocation.
+func TestSelfReferentialObject(t *testing.T) {
+	c, types := testEnv(t, Knobs{RelocateAllSmallPages: true})
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(2)
+	defer m.Close()
+	obj := m.Alloc(node)
+	m.StoreRef(obj, 0, obj) // self loop
+	m.StoreField(obj, 1, 5)
+	m.SetRoot(0, obj)
+	m.RequestGC()
+	c.relocWG.Wait()
+	got := m.LoadRoot(0)
+	self := m.LoadRef(got, 0)
+	if self.Addr() != got.Addr() {
+		t.Fatalf("self reference broken: %#x vs %#x", self.Addr(), got.Addr())
+	}
+	if m.LoadField(self, 1) != 5 {
+		t.Fatal("payload lost")
+	}
+}
+
+// TestCycleStatsPausesRecorded ensures the three pauses are accounted.
+func TestCycleStatsPausesRecorded(t *testing.T) {
+	c, types := testEnv(t, Knobs{})
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(4)
+	defer m.Close()
+	buildList(m, node, 100)
+	m.RequestGC()
+	cs := c.Stats().Cycles[0]
+	if cs.Pause1 == 0 {
+		t.Error("STW1 work (root scan) must be accounted")
+	}
+	if cs.Trigger != "requested" {
+		t.Errorf("trigger = %q", cs.Trigger)
+	}
+	if cs.HeapUsedBefore <= 0 {
+		t.Error("heap usage before must be recorded")
+	}
+}
+
+func TestWriteGCLog(t *testing.T) {
+	c, types := testEnv(t, Knobs{Hotness: true, ColdPage: true, ColdConfidence: 1})
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(4)
+	defer m.Close()
+	buildList(m, node, 500)
+	m.RequestGC()
+	m.RequestGC()
+	var buf bytes.Buffer
+	c.WriteGCLog(&buf)
+	out := buf.String()
+	for _, want := range []string{"GC(1)", "GC(2)", "EC:", "pause cycles", "totals:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gc log missing %q:\n%s", want, out)
+		}
+	}
+}

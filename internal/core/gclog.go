@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteGCLog renders the collector's cycle history in the style of ZGC's
+// -Xlog:gc output, one block per cycle. The paper's GC statistics
+// ("extend ZGC's builtin logging support to print the number of small
+// pages in EC per cycle", §4.2) come from exactly this log.
+func (c *Collector) WriteGCLog(w io.Writer) {
+	st := c.Stats()
+	fmt.Fprintf(w, "[gc] collector: HCSGC (%s), %d workers, evac threshold %.0f%%\n",
+		c.cfg.Knobs, c.cfg.GCWorkers, c.cfg.EvacThreshold*100)
+	for _, cs := range st.Cycles {
+		fmt.Fprintf(w, "[gc] GC(%d) trigger=%s\n", cs.Seq, cs.Trigger)
+		fmt.Fprintf(w, "[gc] GC(%d) pause cycles: STW1=%d STW2=%d STW3=%d\n",
+			cs.Seq, cs.Pause1, cs.Pause2, cs.Pause3)
+		fmt.Fprintf(w, "[gc] GC(%d) marked %s live\n", cs.Seq, fmtBytes(cs.MarkedBytes))
+		fmt.Fprintf(w, "[gc] GC(%d) EC: %d small pages (%s live), %d medium; %d empty pages freed\n",
+			cs.Seq, cs.ECSmall, fmtBytes(cs.ECSmallLiveBytes), cs.ECMedium, cs.PagesFreedEmpty)
+		fmt.Fprintf(w, "[gc] GC(%d) heap: %.1f%% -> %.1f%%\n",
+			cs.Seq, cs.HeapUsedBefore, cs.HeapUsedAfter)
+	}
+	fmt.Fprintf(w, "[gc] totals: %d cycles, relocated %d objects (%s) by mutators, %d (%s) by GC\n",
+		len(st.Cycles),
+		st.MutatorRelocObjects, fmtBytes(st.MutatorRelocBytes),
+		st.GCRelocObjects, fmtBytes(st.GCRelocBytes))
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hcsgc/internal/heap"
+	"hcsgc/internal/objmodel"
+	"hcsgc/internal/simmem"
+)
+
+// Mutator is an application thread's handle onto the managed heap. Every
+// reference load goes through the ZGC load barrier; every access feeds the
+// owning core's cache model.
+//
+// Usage contract (mirrors what a JVM guarantees via stack scanning, which
+// this library cannot do for Go locals): references must not be held in Go
+// variables across a safepoint. Keep long-lived references in root slots
+// and re-derive locals from roots after each Safepoint call; safepoints
+// also occur inside Alloc* methods.
+type Mutator struct {
+	c    *Collector
+	core *simmem.Core
+	ctx  *relocCtx
+
+	// roots is the mutator's root set (its simulated stack and globals).
+	// Scanned and healed during STW pauses.
+	roots []heap.Ref
+
+	// tlab is the current small-page allocation buffer, also the
+	// destination of mutator-side relocation (that sharing is what lays
+	// relocated objects out in access order, §3.2).
+	tlab *heap.Page
+
+	// markBuf is the thread-local mark stack flushed to the GC (§2 fn 2).
+	markBuf []uint64
+
+	// extra accumulates non-memory cycle costs (barrier checks, hotmap
+	// CASes, allocation bookkeeping). Atomic: the runtime ledger reads it
+	// while the mutator runs.
+	extra atomic.Uint64
+	// work accumulates application compute cycles reported via Work.
+	work atomic.Uint64
+
+	// Stalls counts allocation stalls.
+	Stalls uint64
+
+	closed bool
+}
+
+// NewMutator attaches a new mutator with the given number of root slots.
+func (c *Collector) NewMutator(rootSlots int) *Mutator {
+	m := &Mutator{c: c, roots: make([]heap.Ref, rootSlots)}
+	if c.heap.Mem() != nil {
+		m.core = c.heap.Mem().NewCore()
+	}
+	m.ctx = &relocCtx{c: c, core: m.core, byMutator: true, mutator: m}
+	c.sp.register()
+	c.mutMu.Lock()
+	c.muts[m] = struct{}{}
+	c.mutMu.Unlock()
+	return m
+}
+
+// Close detaches the mutator; it must not touch the heap afterwards.
+func (m *Mutator) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.flushMarkBuf()
+	m.c.mutMu.Lock()
+	delete(m.c.muts, m)
+	m.c.mutMu.Unlock()
+	m.c.sp.unregister()
+}
+
+// Safepoint is the GC poll; call it at loop back-edges. Allocation
+// methods poll implicitly.
+func (m *Mutator) Safepoint() {
+	if len(m.markBuf) > 0 && m.c.CurrentPhase() == PhaseMark {
+		m.flushMarkBuf()
+	}
+	m.c.sp.poll()
+}
+
+func (m *Mutator) flushMarkBuf() {
+	if len(m.markBuf) > 0 {
+		m.c.pool.put(m.markBuf)
+		m.markBuf = nil
+	}
+}
+
+// RequestGC runs a full GC cycle from mutator context: the caller counts
+// as stopped for the duration (it is driving the collector, not mutating).
+// References held in Go locals are invalidated, exactly as across any
+// other safepoint.
+func (m *Mutator) RequestGC() {
+	m.flushMarkBuf()
+	m.c.sp.beginBlocked()
+	m.c.Collect("requested")
+	m.c.sp.endBlocked()
+}
+
+// Work charges n cycles of application compute to this mutator's ledger.
+func (m *Mutator) Work(n uint64) { m.work.Add(n) }
+
+// Cycles returns the mutator's accumulated cost: simulated memory access
+// cycles plus bookkeeping plus reported compute.
+func (m *Mutator) Cycles() uint64 {
+	var mem uint64
+	if m.core != nil {
+		mem = m.core.Cycles()
+	}
+	return mem + m.extra.Load() + m.ctx.extra.Load() + m.work.Load()
+}
+
+// Core exposes the mutator's cache-model core (may be nil when the runtime
+// was built without a memory model).
+func (m *Mutator) Core() *simmem.Core { return m.core }
+
+// --- Allocation ---------------------------------------------------------
+
+// Alloc allocates a fixed-layout object and returns a good-colored
+// reference. Fields start zeroed (null references).
+func (m *Mutator) Alloc(t *objmodel.Type) heap.Ref {
+	return m.allocWords(t.SizeWords(), t.ID)
+}
+
+// AllocRefArray allocates an array of n reference slots.
+func (m *Mutator) AllocRefArray(n int) heap.Ref {
+	return m.allocWords(objmodel.ArraySizeWords(n), objmodel.RefArrayTypeID)
+}
+
+// AllocWordArray allocates an array of n data words.
+func (m *Mutator) AllocWordArray(n int) heap.Ref {
+	return m.allocWords(objmodel.ArraySizeWords(n), objmodel.WordArrayTypeID)
+}
+
+func (m *Mutator) allocWords(sizeWords int, typeID uint16) heap.Ref {
+	m.Safepoint()
+	size := uint64(sizeWords) * heap.WordSize
+	var addr uint64
+	class := heap.ClassFor(size, m.c.cfg.Knobs.TinyPages && m.c.heap.Config().EnableTinyClass)
+	switch class {
+	case heap.ClassSmall, heap.ClassTiny:
+		addr = m.allocSmall(size, class)
+	case heap.ClassMedium:
+		addr = m.allocStall(func() (uint64, error) { return m.c.allocMedium(size) })
+	case heap.ClassLarge:
+		addr = m.allocStall(func() (uint64, error) {
+			p, err := m.c.heap.AllocLargePage(size)
+			if err != nil {
+				return 0, err
+			}
+			return p.AllocRaw(size), nil
+		})
+	}
+	m.c.heap.StoreWord(m.core, addr, objmodel.EncodeHeader(sizeWords, typeID))
+	m.extra.Add(m.c.cfg.Costs.Alloc)
+	return heap.MakeRef(addr, m.c.Good())
+}
+
+// allocSmall bump-allocates from the TLAB, refilling on demand.
+func (m *Mutator) allocSmall(size uint64, class heap.Class) uint64 {
+	if m.tlab != nil && m.tlab.Class() == class {
+		if addr := m.tlab.AllocRaw(size); addr != 0 {
+			return addr
+		}
+	}
+	return m.allocStall(func() (uint64, error) {
+		p, err := m.c.heap.AllocPage(class)
+		if err != nil {
+			return 0, err
+		}
+		m.tlab = p
+		return p.AllocRaw(size), nil
+	})
+}
+
+// maxStallRetries bounds allocation stalls before declaring OOM.
+const maxStallRetries = 16
+
+// allocStall runs the allocation, stalling for GC cycles while the heap is
+// full (the mutator counts as stopped during the stall).
+func (m *Mutator) allocStall(alloc func() (uint64, error)) uint64 {
+	for attempt := 0; attempt < maxStallRetries; attempt++ {
+		addr, err := alloc()
+		if err == nil {
+			if addr == 0 {
+				panic("core: allocation returned null address without error")
+			}
+			return addr
+		}
+		if err != heap.ErrHeapFull {
+			panic(fmt.Sprintf("core: allocation failed: %v", err))
+		}
+		m.Stalls++
+		prev := m.c.cycles.Load()
+		m.c.sp.beginBlocked()
+		m.c.collectIfDue(prev, "allocation stall")
+		m.c.sp.endBlocked()
+	}
+	panic("core: out of memory: allocation stalled with no progress")
+}
+
+// relocTargetSmall allocates relocation destination space in the TLAB so
+// relocated objects are laid out in this mutator's access order. Refills
+// bypass the heap budget: relocation must not stall.
+func (m *Mutator) relocTargetSmall(size uint64) uint64 {
+	if m.tlab != nil {
+		if addr := m.tlab.AllocRaw(size); addr != 0 {
+			return addr
+		}
+	}
+	p, err := m.c.heap.AllocPageForced(smallishClass(m.c, size))
+	if err != nil {
+		panic(fmt.Sprintf("core: cannot allocate mutator relocation target: %v", err))
+	}
+	m.tlab = p
+	addr := p.AllocRaw(size)
+	if addr == 0 {
+		panic("core: fresh TLAB cannot satisfy small object")
+	}
+	return addr
+}
+
+// --- Root access ----------------------------------------------------------
+
+// NumRoots returns the root slot count.
+func (m *Mutator) NumRoots() int { return len(m.roots) }
+
+// SetRoot stores ref (a good-colored reference obtained this era) into
+// root slot i.
+func (m *Mutator) SetRoot(i int, ref heap.Ref) { m.roots[i] = ref }
+
+// LoadRoot returns the reference in root slot i, applying the load
+// barrier. Root slots model registers/stack, so no simulated memory
+// traffic is charged — only the barrier check.
+func (m *Mutator) LoadRoot(i int) heap.Ref {
+	raw := m.roots[i]
+	m.extra.Add(m.c.cfg.Costs.BarrierFast)
+	if raw.IsNull() || raw.Color() == m.c.Good() {
+		return raw
+	}
+	healed := m.barrierSlow(raw)
+	m.roots[i] = healed
+	return healed
+}
+
+// --- Heap access ------------------------------------------------------------
+
+// LoadRef loads the reference in field (or ref-array element) i of obj,
+// applying the load barrier and self-healing the slot.
+func (m *Mutator) LoadRef(obj heap.Ref, i int) heap.Ref {
+	slot := objmodel.FieldAddr(obj.Addr(), i)
+	raw := heap.Ref(m.c.heap.LoadWord(m.core, slot))
+	m.extra.Add(m.c.cfg.Costs.BarrierFast)
+	if raw.IsNull() || raw.Color() == m.c.Good() {
+		return raw
+	}
+	healed := m.barrierSlow(raw)
+	m.c.heap.CASWord(m.core, slot, uint64(raw), uint64(healed))
+	return healed
+}
+
+// StoreRef stores val into field (or ref-array element) i of obj. val
+// must be null or a reference obtained during the current era (good
+// color), which every Alloc/LoadRef/LoadRoot result is.
+func (m *Mutator) StoreRef(obj heap.Ref, i int, val heap.Ref) {
+	if !val.IsNull() && val.Color() != m.c.Good() {
+		panic(fmt.Sprintf("core: storing stale reference %v (good is %v); references must not be held across safepoints", val, m.c.Good()))
+	}
+	m.c.heap.StoreWord(m.core, objmodel.FieldAddr(obj.Addr(), i), uint64(val))
+}
+
+// LoadField loads the data word in field i of obj.
+func (m *Mutator) LoadField(obj heap.Ref, i int) uint64 {
+	return m.c.heap.LoadWord(m.core, objmodel.FieldAddr(obj.Addr(), i))
+}
+
+// StoreField stores a data word into field i of obj.
+func (m *Mutator) StoreField(obj heap.Ref, i int, v uint64) {
+	m.c.heap.StoreWord(m.core, objmodel.FieldAddr(obj.Addr(), i), v)
+}
+
+// ArrayLen returns the element count of the array obj.
+func (m *Mutator) ArrayLen(obj heap.Ref) int {
+	return objmodel.ArrayLen(m.c.heap.LoadWord(m.core, obj.Addr()))
+}
+
+// barrierSlow is the load-barrier slow path (§2): remap, mark, relocate
+// and hotness-flag as the phase dictates, returning the good-colored
+// reference. Phase and good color are stable here because they only
+// change while this mutator is parked at a safepoint.
+func (m *Mutator) barrierSlow(raw heap.Ref) heap.Ref {
+	c := m.c
+	m.extra.Add(c.cfg.Costs.BarrierSlow)
+	addr := raw.Addr()
+	p := c.heap.PageOf(addr)
+	if p == nil {
+		panic("core: stale reference to unmapped address " + raw.String())
+	}
+	switch c.CurrentPhase() {
+	case PhaseMark:
+		// Remap through the previous era's forwarding, then mark. A
+		// mutator access is the definition of hot (§3.1.2).
+		if p.Forwarding() != nil {
+			addr = c.remapForward(addr, p)
+			p = c.heap.PageOf(addr)
+		}
+		pushed, cost := c.markObject(m.core, addr, true)
+		m.extra.Add(cost)
+		if pushed {
+			m.markBuf = append(m.markBuf, addr)
+			if len(m.markBuf) >= markChunk {
+				m.flushMarkBuf()
+			}
+		}
+	case PhaseRelocate:
+		// Compete with GC threads to relocate (§2.2 RE, §3.2): if this
+		// mutator wins, the object lands in its TLAB in access order.
+		if p.InEC() {
+			addr = c.relocateObject(m.ctx, addr, p)
+		}
+	}
+	return heap.MakeRef(addr, c.Good())
+}

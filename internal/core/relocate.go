@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hcsgc/internal/heap"
+	"hcsgc/internal/objmodel"
+	"hcsgc/internal/simmem"
+)
+
+// relocCtx is a relocation execution context: who is copying (a mutator, a
+// GC worker, or the STW3 pause), which simmem core the traffic is charged
+// to, and the destination pages.
+//
+// The destination policy is the heart of HCSGC (§3.2–3.3):
+//
+//   - Mutators relocate into their own TLAB, so objects land in the order
+//     the mutator accesses them — the prefetch-friendly layout.
+//   - GC workers relocate into a thread-local "hot page", or when COLDPAGE
+//     is enabled into separate hot/cold pages, segregating objects that
+//     were not touched since the last GC cycle.
+type relocCtx struct {
+	c         *Collector
+	core      *simmem.Core
+	byMutator bool
+	// hotPage/coldPage are the small-page destinations. For a mutator
+	// context these are unused: the owning mutator's TLAB is used instead
+	// (see Mutator.relocTargetSmall).
+	hotPage  *heap.Page
+	coldPage *heap.Page
+	// mutator is set for mutator contexts (TLAB destination).
+	mutator *Mutator
+	// extra accumulates non-memory cycle costs charged to this context.
+	// Atomic: aggregate statistics snapshot it while the owner works.
+	extra atomic.Uint64
+}
+
+// relocTargetSmall returns a destination address for a small object of the
+// given size, allocating fresh target pages as needed. Relocation must not
+// fail, so target pages bypass the heap budget (relocation headroom).
+func (ctx *relocCtx) relocTargetSmall(size uint64, hot bool) uint64 {
+	if ctx.mutator != nil {
+		return ctx.mutator.relocTargetSmall(size)
+	}
+	pagep := &ctx.hotPage
+	if !hot && ctx.c.cfg.Knobs.ColdPage {
+		pagep = &ctx.coldPage
+	}
+	if *pagep != nil {
+		if addr := (*pagep).AllocRaw(size); addr != 0 {
+			return addr
+		}
+	}
+	p, err := ctx.c.heap.AllocPageForced(smallishClass(ctx.c, size))
+	if err != nil {
+		panic(fmt.Sprintf("core: cannot allocate relocation target: %v", err))
+	}
+	*pagep = p
+	addr := p.AllocRaw(size)
+	if addr == 0 {
+		panic("core: fresh relocation target page cannot satisfy small object")
+	}
+	return addr
+}
+
+// undoTarget gives back a relocation copy that lost the forwarding race.
+func (ctx *relocCtx) undoTarget(addr, size uint64) {
+	p := ctx.c.heap.PageOf(addr)
+	if p != nil {
+		p.UndoAlloc(addr, size)
+	}
+}
+
+// smallishClass picks the page class for a small-page object, honouring
+// the tiny-class extension.
+func smallishClass(c *Collector, size uint64) heap.Class {
+	return heap.ClassFor(size, c.cfg.Knobs.TinyPages && c.heap.Config().EnableTinyClass)
+}
+
+// relocateObject ensures the live object at addr on EC page p has been
+// relocated and returns its new address. This is the shared routine behind
+// the mutator load-barrier slow path, the GC drain, and STW3 root
+// processing; the forwarding-table CAS decides the race (§2.2 RE).
+func (c *Collector) relocateObject(ctx *relocCtx, addr uint64, p *heap.Page) uint64 {
+	fwd := p.Forwarding()
+	if fwd == nil {
+		panic(fmt.Sprintf("core: relocateObject on page without forwarding: %v", p))
+	}
+	off := p.WordIndex(addr)
+	if dst := fwd.Lookup(off); dst != 0 {
+		return dst
+	}
+	header := c.heap.LoadWord(ctx.core, addr)
+	size := objmodel.SizeBytes(header)
+
+	var dst uint64
+	if size <= heap.SmallObjectMax {
+		hot := !c.cfg.Knobs.Hotness || p.IsHot(addr)
+		dst = ctx.relocTargetSmall(size, hot)
+	} else {
+		dst = c.allocMediumForced(size)
+	}
+	c.heap.CopyObject(ctx.core, addr, dst, size)
+	final, won := fwd.Insert(off, dst)
+	ctx.extra.Add(c.cfg.Costs.RelocSetup)
+	if !won {
+		ctx.undoTarget(dst, size)
+		return final
+	}
+	if ctx.byMutator {
+		c.stats.addMutatorReloc(size)
+	} else {
+		c.stats.addGCReloc(size)
+	}
+	if p.ObjectRelocated() {
+		// Last live object gone: recycle the page now; its forwarding
+		// table survives until next mark end.
+		c.heap.FreePage(p)
+	}
+	return final
+}
+
+// remapForward returns the current address of an object that may live on a
+// previously evacuated page (mark-era remapping). During marking every EC
+// page of the previous era is fully relocated, so a live object's
+// forwarding entry always exists.
+func (c *Collector) remapForward(addr uint64, p *heap.Page) uint64 {
+	fwd := p.Forwarding()
+	if fwd == nil {
+		return addr
+	}
+	if dst := fwd.Lookup(p.WordIndex(addr)); dst != 0 {
+		return dst
+	}
+	return addr
+}
+
+// allocMediumForced bump-allocates from the shared medium page, bypassing
+// the heap budget (relocation path).
+func (c *Collector) allocMediumForced(size uint64) uint64 {
+	c.medMu.Lock()
+	defer c.medMu.Unlock()
+	if c.medPage != nil {
+		if addr := c.medPage.AllocRaw(size); addr != 0 {
+			return addr
+		}
+	}
+	p, err := c.heap.AllocPageForced(heap.ClassMedium)
+	if err != nil {
+		panic(fmt.Sprintf("core: cannot allocate medium relocation target: %v", err))
+	}
+	c.medPage = p
+	addr := p.AllocRaw(size)
+	if addr == 0 {
+		panic("core: fresh medium page cannot satisfy object")
+	}
+	return addr
+}
+
+// allocMedium is the mutator allocation path for medium objects; it
+// respects the heap budget and reports failure for the stall path.
+func (c *Collector) allocMedium(size uint64) (uint64, error) {
+	c.medMu.Lock()
+	defer c.medMu.Unlock()
+	if c.medPage != nil {
+		if addr := c.medPage.AllocRaw(size); addr != 0 {
+			return addr, nil
+		}
+	}
+	p, err := c.heap.AllocPage(heap.ClassMedium)
+	if err != nil {
+		return 0, err
+	}
+	c.medPage = p
+	return p.AllocRaw(size), nil
+}
+
+// drainLoop is the GC worker's RE phase: claim EC pages and relocate every
+// remaining live object, walking the livemap in address order.
+func (w *gcWorker) drainLoop(cs *CycleStats) {
+	c := w.c
+	for {
+		i := c.ecCursor.Add(1) - 1
+		if int(i) >= len(c.ecPages) {
+			return
+		}
+		p := c.ecPages[i]
+		w.drainPage(p)
+	}
+}
+
+// drainPage relocates all not-yet-relocated live objects of one EC page.
+func (w *gcWorker) drainPage(p *heap.Page) {
+	c := w.c
+	start := p.Start()
+	livemap := p.Livemap()
+	livemap.ForEachSet(func(idx int) {
+		addr := start + uint64(idx)*heap.WordSize
+		c.relocateObject(w.ctx, addr, p)
+	})
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// safepoints implements the stop-the-world handshake. Mutators poll
+// Safepoint() at allocation sites and loop back-edges; when the collector
+// requests a pause, polling mutators park until the world resumes.
+// Mutators that block (allocation stalls, detached sections) count as
+// stopped for the duration of the blocking region, like JNI native code in
+// HotSpot.
+type safepoints struct {
+	// requested is the fast-path flag mutators poll without locking.
+	requested atomic.Bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	stwActive bool
+	// registered is the number of attached mutators; stopped counts those
+	// currently parked or blocked.
+	registered int
+	stopped    int
+	// epoch increments on every resume so parked mutators distinguish
+	// consecutive pauses.
+	epoch uint64
+}
+
+func newSafepoints() *safepoints {
+	s := &safepoints{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// register attaches a mutator to the safepoint protocol. If a pause is
+// pending or active, registration waits it out: a mutator attaching
+// mid-pause could otherwise touch the heap while the collector assumes the
+// world is stopped.
+func (s *safepoints) register() {
+	s.mu.Lock()
+	for s.requested.Load() || s.stwActive {
+		s.cond.Wait()
+	}
+	s.registered++
+	s.mu.Unlock()
+}
+
+// unregister detaches a mutator. Must be called from running (not parked)
+// state; the mutator may not touch the heap afterwards.
+func (s *safepoints) unregister() {
+	s.mu.Lock()
+	s.registered--
+	s.cond.Broadcast()
+	// If a pause is pending, the collector may now have all remaining
+	// mutators stopped.
+	s.mu.Unlock()
+}
+
+// poll parks the caller if a stop-the-world is requested or active. This
+// is the safepoint check; the fast path is a single atomic load.
+func (s *safepoints) poll() {
+	if !s.requested.Load() {
+		return
+	}
+	s.mu.Lock()
+	for s.requested.Load() || s.stwActive {
+		s.stopped++
+		s.cond.Broadcast() // wake the collector waiting for quorum
+		epoch := s.epoch
+		for (s.requested.Load() || s.stwActive) && s.epoch == epoch {
+			s.cond.Wait()
+		}
+		s.stopped--
+	}
+	s.mu.Unlock()
+}
+
+// beginBlocked marks the caller as stopped-equivalent for the duration of
+// a blocking operation (allocation stall). The caller must not touch the
+// heap until endBlocked returns.
+func (s *safepoints) beginBlocked() {
+	s.mu.Lock()
+	s.stopped++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// endBlocked re-enters running state, waiting out any active pause.
+func (s *safepoints) endBlocked() {
+	s.mu.Lock()
+	for s.requested.Load() || s.stwActive {
+		s.cond.Wait()
+	}
+	s.stopped--
+	s.mu.Unlock()
+}
+
+// stopTheWorld blocks until every registered mutator is parked or blocked,
+// then returns with the world stopped. Only the collector calls this, and
+// never reentrantly.
+func (s *safepoints) stopTheWorld() {
+	s.requested.Store(true)
+	s.mu.Lock()
+	for s.stopped < s.registered {
+		s.cond.Wait()
+	}
+	s.stwActive = true
+	s.mu.Unlock()
+}
+
+// resumeTheWorld releases all parked mutators.
+func (s *safepoints) resumeTheWorld() {
+	s.mu.Lock()
+	s.stwActive = false
+	s.requested.Store(false)
+	s.epoch++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CycleStats records one GC cycle, feeding the paper's "GC statistics"
+// plots (cycles per run, small pages relocated per cycle, heap usage).
+type CycleStats struct {
+	Seq     uint64
+	Trigger string
+	// ECSmall / ECMedium are the evacuation-candidate counts selected this
+	// cycle; ECSmallLiveBytes is the live data on the small EC pages.
+	ECSmall          int
+	ECMedium         int
+	ECSmallLiveBytes uint64
+	// PagesFreedEmpty counts pages reclaimed without relocation.
+	PagesFreedEmpty int
+	// MarkedBytes is the live data found by this mark.
+	MarkedBytes uint64
+	// Pause1/2/3 are the STW pause costs in cycles.
+	Pause1, Pause2, Pause3 uint64
+	// HeapUsedBefore/After are occupancy percentages around the cycle.
+	HeapUsedBefore, HeapUsedAfter float64
+}
+
+// statsLog accumulates per-cycle records and global relocation counters.
+type statsLog struct {
+	mu     sync.Mutex
+	cycles []CycleStats
+
+	mutatorRelocObjects atomic.Uint64
+	mutatorRelocBytes   atomic.Uint64
+	gcRelocObjects      atomic.Uint64
+	gcRelocBytes        atomic.Uint64
+}
+
+func (s *statsLog) append(cs *CycleStats) {
+	s.mu.Lock()
+	s.cycles = append(s.cycles, *cs)
+	s.mu.Unlock()
+}
+
+func (s *statsLog) addMutatorReloc(bytes uint64) {
+	s.mutatorRelocObjects.Add(1)
+	s.mutatorRelocBytes.Add(bytes)
+}
+
+func (s *statsLog) addGCReloc(bytes uint64) {
+	s.gcRelocObjects.Add(1)
+	s.gcRelocBytes.Add(bytes)
+}
+
+// Stats is a snapshot of collector activity for reporting.
+type Stats struct {
+	Cycles              []CycleStats
+	MutatorRelocObjects uint64
+	MutatorRelocBytes   uint64
+	GCRelocObjects      uint64
+	GCRelocBytes        uint64
+	TotalPauseCycles    uint64
+	GCWorkerCycles      uint64
+}
+
+// Stats snapshots the collector's statistics.
+func (c *Collector) Stats() Stats {
+	c.stats.mu.Lock()
+	cycles := make([]CycleStats, len(c.stats.cycles))
+	copy(cycles, c.stats.cycles)
+	c.stats.mu.Unlock()
+	var pauses uint64
+	for _, cs := range cycles {
+		pauses += cs.Pause1 + cs.Pause2 + cs.Pause3
+	}
+	var gcCycles uint64
+	for _, w := range c.workers {
+		if w.core != nil {
+			gcCycles += w.core.Cycles()
+		}
+		gcCycles += w.ctx.extra.Load()
+	}
+	return Stats{
+		Cycles:              cycles,
+		MutatorRelocObjects: c.stats.mutatorRelocObjects.Load(),
+		MutatorRelocBytes:   c.stats.mutatorRelocBytes.Load(),
+		GCRelocObjects:      c.stats.gcRelocObjects.Load(),
+		GCRelocBytes:        c.stats.gcRelocBytes.Load(),
+		TotalPauseCycles:    pauses,
+		GCWorkerCycles:      gcCycles,
+	}
+}
+
+// MedianECSmall returns the median number of small pages selected for
+// evacuation per GC cycle — the paper's "average of median small pages
+// relocated per run" metric is built from this per run (§4.2 note 3).
+func (s Stats) MedianECSmall() float64 {
+	if len(s.Cycles) == 0 {
+		return 0
+	}
+	counts := make([]int, len(s.Cycles))
+	for i, cs := range s.Cycles {
+		counts[i] = cs.ECSmall
+	}
+	// Insertion sort: cycle counts are short.
+	for i := 1; i < len(counts); i++ {
+		for j := i; j > 0 && counts[j] < counts[j-1]; j-- {
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+		}
+	}
+	n := len(counts)
+	if n%2 == 1 {
+		return float64(counts[n/2])
+	}
+	return float64(counts[n/2-1]+counts[n/2]) / 2
+}

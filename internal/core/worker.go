@@ -1,0 +1,135 @@
+package core
+
+import (
+	"hcsgc/internal/heap"
+	"hcsgc/internal/objmodel"
+	"hcsgc/internal/simmem"
+)
+
+// gcWorker is one parallel GC thread. It participates in concurrent
+// marking (with work stealing through the shared markPool) and in the
+// relocation drain. Its memory traffic is charged to its own simmem core,
+// so GC activity shows up in the process-wide load counters exactly as it
+// does under perf in the paper.
+type gcWorker struct {
+	c    *Collector
+	id   int
+	core *simmem.Core
+	ctx  *relocCtx
+	// local is the thread-local gray stack.
+	local []uint64
+}
+
+// spillThreshold bounds the local gray stack before spilling half to the
+// shared pool for other workers to steal.
+const spillThreshold = 1024
+
+// markChunk is the flush unit for gray objects.
+const markChunk = 256
+
+func newGCWorker(c *Collector, id int) *gcWorker {
+	w := &gcWorker{c: c, id: id}
+	if c.heap.Mem() != nil {
+		w.core = c.heap.Mem().NewCore()
+	}
+	w.ctx = &relocCtx{c: c, core: w.core, byMutator: false}
+	return w
+}
+
+// markLoop drains gray objects until the collector terminates marking.
+func (w *gcWorker) markLoop() {
+	for {
+		chunk := w.c.pool.get()
+		if chunk == nil {
+			return
+		}
+		w.local = append(w.local, chunk...)
+		for len(w.local) > 0 {
+			addr := w.local[len(w.local)-1]
+			w.local = w.local[:len(w.local)-1]
+			w.scanObject(addr)
+			if len(w.local) >= spillThreshold {
+				half := len(w.local) / 2
+				spill := make([]uint64, half)
+				copy(spill, w.local[:half])
+				copy(w.local, w.local[half:])
+				w.local = w.local[:len(w.local)-half]
+				w.c.pool.put(spill)
+			}
+		}
+	}
+}
+
+// scanObject traces one object's reference fields, remapping and healing
+// stale slots and pushing newly marked objects.
+func (w *gcWorker) scanObject(addr uint64) {
+	c := w.c
+	header := c.heap.LoadWord(w.core, addr)
+	sizeWords, typeID := objmodel.DecodeHeader(header)
+	typ := c.types.Lookup(typeID)
+	objmodel.RefFieldIndices(typ, sizeWords, func(field int) {
+		slot := objmodel.FieldAddr(addr, field)
+		raw := heap.Ref(c.heap.LoadWord(w.core, slot))
+		if raw.IsNull() || raw.Color() == c.Good() {
+			return
+		}
+		newAddr, wasR := c.remapStale(w.core, raw)
+		pushed, cost := c.markObject(w.core, newAddr, wasR)
+		w.ctx.extra.Add(cost)
+		if pushed {
+			w.local = append(w.local, newAddr)
+		}
+		healed := heap.MakeRef(newAddr, c.Good())
+		c.heap.CASWord(w.core, slot, uint64(raw), uint64(healed))
+	})
+}
+
+// remapStale resolves a stale reference to the object's current address
+// during the mark era, consulting the previous era's forwarding tables.
+// It also reports whether the reference carried the R color, which means a
+// mutator touched it during the previous relocation era — the GC-side
+// hotness signal of §3.1.2.
+func (c *Collector) remapStale(core *simmem.Core, raw heap.Ref) (addr uint64, wasR bool) {
+	addr = raw.Addr()
+	wasR = raw.HasColor(heap.ColorRemapped)
+	p := c.heap.PageOf(addr)
+	if p == nil {
+		panic("core: stale ref to unmapped address " + raw.String())
+	}
+	if p.Forwarding() != nil {
+		addr = c.remapForward(addr, p)
+	}
+	return addr, wasR
+}
+
+// markObject marks the object at addr live (and possibly hot), returning
+// whether the caller should push it gray, plus the bookkeeping cost to
+// charge to the caller's cycle ledger. Objects on pages allocated after
+// STW1 are implicitly live and never pushed: any reference to them was
+// created during this era and already carries the good color, as do all
+// references reachable from them.
+func (c *Collector) markObject(core *simmem.Core, addr uint64, hot bool) (pushed bool, cost uint64) {
+	p := c.heap.PageOf(addr)
+	if p == nil {
+		panic("core: marking unmapped address")
+	}
+	if p.Seq > c.startSeq.Load() {
+		return false, 0
+	}
+	header := c.heap.LoadWord(core, addr)
+	size := objmodel.SizeBytes(header)
+	won := p.MarkLive(addr, size)
+	if hot && c.cfg.Knobs.Hotness && hotTrackable(p) {
+		if p.MarkHot(addr, size) {
+			cost = c.cfg.Costs.HotmapCAS
+		}
+	}
+	return won, cost
+}
+
+// hotTrackable reports whether hotness is recorded for objects on p.
+// Per §3.4 the paper tracks hotness only for small pages (and this
+// reproduction's optional tiny pages).
+func hotTrackable(p *heap.Page) bool {
+	return p.Class() == heap.ClassSmall || p.Class() == heap.ClassTiny
+}

@@ -1,0 +1,125 @@
+package heap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasic(t *testing.T) {
+	b := NewBitmap(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Get(5) {
+		t.Fatal("fresh bitmap must be clear")
+	}
+	if !b.TestAndSet(5) {
+		t.Fatal("first TestAndSet must return true")
+	}
+	if b.TestAndSet(5) {
+		t.Fatal("second TestAndSet must return false")
+	}
+	if !b.Get(5) {
+		t.Fatal("bit must be set")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", b.Count())
+	}
+}
+
+func TestBitmapBoundaries(t *testing.T) {
+	b := NewBitmap(128)
+	for _, i := range []int{0, 63, 64, 127} {
+		if !b.TestAndSet(i) {
+			t.Errorf("TestAndSet(%d) first call false", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+}
+
+func TestBitmapClear(t *testing.T) {
+	b := NewBitmap(100)
+	for i := 0; i < 100; i += 3 {
+		b.TestAndSet(i)
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Fatal("Clear must zero the bitmap")
+	}
+}
+
+func TestBitmapForEachSetOrdered(t *testing.T) {
+	b := NewBitmap(300)
+	want := []int{1, 64, 65, 190, 299}
+	for _, i := range want {
+		b.TestAndSet(i)
+	}
+	var got []int
+	b.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+func TestBitmapNegativeSize(t *testing.T) {
+	b := NewBitmap(-5)
+	if b.Len() != 0 {
+		t.Fatal("negative size should clamp to zero")
+	}
+}
+
+func TestBitmapConcurrentTestAndSetExactlyOneWinner(t *testing.T) {
+	b := NewBitmap(1024)
+	const goroutines = 8
+	wins := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 1024; i++ {
+				if b.TestAndSet(i) {
+					wins[id]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != 1024 {
+		t.Fatalf("total wins = %d, want exactly 1024 (one winner per bit)", total)
+	}
+	if b.Count() != 1024 {
+		t.Fatalf("Count = %d, want 1024", b.Count())
+	}
+}
+
+func TestBitmapPropertyCountMatchesSets(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		bits := int(n%2000) + 1
+		b := NewBitmap(bits)
+		rng := rand.New(rand.NewSource(seed))
+		set := map[int]bool{}
+		for i := 0; i < bits/2; i++ {
+			k := rng.Intn(bits)
+			b.TestAndSet(k)
+			set[k] = true
+		}
+		return b.Count() == len(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package heap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForwardInsertLookup(t *testing.T) {
+	ft := NewForwardTable(8)
+	addr, won := ft.Insert(10, 0xbeef0)
+	if !won || addr != 0xbeef0 {
+		t.Fatalf("first insert: addr=%#x won=%v", addr, won)
+	}
+	if got := ft.Lookup(10); got != 0xbeef0 {
+		t.Fatalf("Lookup = %#x, want 0xbeef0", got)
+	}
+	if got := ft.Lookup(11); got != 0 {
+		t.Fatalf("absent Lookup = %#x, want 0", got)
+	}
+	if ft.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ft.Len())
+	}
+}
+
+func TestForwardLoserAdoptsWinner(t *testing.T) {
+	ft := NewForwardTable(8)
+	ft.Insert(42, 0x1000)
+	addr, won := ft.Insert(42, 0x2000)
+	if won {
+		t.Fatal("second insert must lose")
+	}
+	if addr != 0x1000 {
+		t.Fatalf("loser got %#x, want winner's 0x1000", addr)
+	}
+	if ft.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert, want 1", ft.Len())
+	}
+}
+
+func TestForwardOffsetZero(t *testing.T) {
+	// Offset 0 is a valid first-object-in-page offset; keys are offset+1 so
+	// it must not collide with the empty marker.
+	ft := NewForwardTable(4)
+	if _, won := ft.Insert(0, 0x8); !won {
+		t.Fatal("insert at offset 0 should win")
+	}
+	if got := ft.Lookup(0); got != 0x8 {
+		t.Fatalf("Lookup(0) = %#x, want 0x8", got)
+	}
+}
+
+func TestForwardCapacitySizing(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		ft := NewForwardTable(n)
+		if ft.Cap() < n*2 && n > 0 {
+			t.Errorf("NewForwardTable(%d).Cap() = %d, want >= %d", n, ft.Cap(), n*2)
+		}
+		if c := ft.Cap(); c&(c-1) != 0 {
+			t.Errorf("capacity %d not a power of two", c)
+		}
+	}
+}
+
+func TestForwardFillToDeclaredCount(t *testing.T) {
+	n := 500
+	ft := NewForwardTable(n)
+	for i := 0; i < n; i++ {
+		if _, won := ft.Insert(uint64(i*3), uint64(0x1000+i*8)); !won {
+			t.Fatalf("insert %d should win", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := ft.Lookup(uint64(i * 3)); got != uint64(0x1000+i*8) {
+			t.Fatalf("Lookup(%d) = %#x", i*3, got)
+		}
+	}
+}
+
+func TestForwardConcurrentRaceOneWinnerPerOffset(t *testing.T) {
+	// The mutator-vs-GC relocation race: many goroutines insert different
+	// values at the same offsets; exactly one value must win per offset and
+	// every participant must observe that same value.
+	const offsets = 256
+	const racers = 8
+	ft := NewForwardTable(offsets)
+	results := make([][]uint64, racers)
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < racers; r++ {
+		results[r] = make([]uint64, offsets)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for off := 0; off < offsets; off++ {
+				mine := uint64((id+1)<<20 | off)
+				got, won := ft.Insert(uint64(off), mine)
+				if won {
+					wins.Add(1)
+					if got != mine {
+						t.Errorf("winner got %#x, want own %#x", got, mine)
+					}
+				}
+				results[id][off] = got
+			}
+		}(r)
+	}
+	wg.Wait()
+	if wins.Load() != offsets {
+		t.Fatalf("wins = %d, want %d", wins.Load(), offsets)
+	}
+	for off := 0; off < offsets; off++ {
+		first := results[0][off]
+		for r := 1; r < racers; r++ {
+			if results[r][off] != first {
+				t.Fatalf("offset %d: racer %d saw %#x, racer 0 saw %#x", off, r, results[r][off], first)
+			}
+		}
+		if got := ft.Lookup(uint64(off)); got != first {
+			t.Fatalf("offset %d: Lookup %#x != agreed %#x", off, got, first)
+		}
+	}
+}
+
+func TestForwardConcurrentLookupDuringInsert(t *testing.T) {
+	ft := NewForwardTable(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < 1024; i++ {
+			ft.Insert(i, i*8+0x10000)
+		}
+	}()
+	// Concurrent lookups must return either 0 (not yet) or the final value.
+	for i := uint64(0); i < 1024; i++ {
+		if v := ft.Lookup(i); v != 0 && v != i*8+0x10000 {
+			t.Fatalf("Lookup(%d) = %#x, want 0 or %#x", i, v, i*8+0x10000)
+		}
+	}
+	<-done
+}

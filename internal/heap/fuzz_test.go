@@ -1,0 +1,83 @@
+package heap
+
+import "testing"
+
+// FuzzRefRoundTrip fuzzes the colored-reference encoding: any address and
+// any legal color must round-trip, and recoloring must never disturb the
+// address bits.
+func FuzzRefRoundTrip(f *testing.F) {
+	f.Add(uint64(0x200000), uint8(0))
+	f.Add(uint64(AddrMask), uint8(2))
+	f.Add(^uint64(0), uint8(1))
+	colors := []Color{ColorMarked0, ColorMarked1, ColorRemapped}
+	f.Fuzz(func(t *testing.T, addr uint64, ci uint8) {
+		c := colors[int(ci)%len(colors)]
+		r := MakeRef(addr, c)
+		if r.Addr() != addr&AddrMask {
+			t.Fatalf("addr %#x -> %#x", addr, r.Addr())
+		}
+		if r.Color() != c {
+			t.Fatalf("color %v -> %v", c, r.Color())
+		}
+		for _, c2 := range colors {
+			r2 := r.Recolor(c2)
+			if r2.Addr() != r.Addr() || r2.Color() != c2 {
+				t.Fatalf("recolor corrupted ref: %v -> %v", r, r2)
+			}
+		}
+	})
+}
+
+// FuzzForwardTable fuzzes insert/lookup sequences: the first insert per
+// offset wins, later inserts return the winner, lookups agree.
+func FuzzForwardTable(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2}, uint8(4))
+	f.Add([]byte{0, 0, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, offs []byte, sizeHint uint8) {
+		ft := NewForwardTable(int(sizeHint)%64 + 1)
+		want := map[uint64]uint64{}
+		for i, b := range offs {
+			if len(want) >= ft.Cap()/2 {
+				break // respect the declared capacity contract
+			}
+			off := uint64(b)
+			val := uint64(0x1000 + i*8)
+			got, won := ft.Insert(off, val)
+			if prev, seen := want[off]; seen {
+				if won || got != prev {
+					t.Fatalf("offset %d: second insert won=%v got=%#x want %#x", off, won, got, prev)
+				}
+			} else {
+				if !won || got != val {
+					t.Fatalf("offset %d: first insert won=%v got=%#x", off, won, got)
+				}
+				want[off] = val
+			}
+		}
+		for off, val := range want {
+			if got := ft.Lookup(off); got != val {
+				t.Fatalf("lookup(%d) = %#x, want %#x", off, got, val)
+			}
+		}
+	})
+}
+
+// FuzzBitmap fuzzes set sequences against a map model.
+func FuzzBitmap(f *testing.F) {
+	f.Add([]byte{1, 5, 1, 63, 64})
+	f.Fuzz(func(t *testing.T, idxs []byte) {
+		b := NewBitmap(256)
+		model := map[int]bool{}
+		for _, raw := range idxs {
+			i := int(raw)
+			first := b.TestAndSet(i)
+			if first == model[i] {
+				t.Fatalf("bit %d: TestAndSet=%v but model says set=%v", i, first, model[i])
+			}
+			model[i] = true
+		}
+		if b.Count() != len(model) {
+			t.Fatalf("count %d != model %d", b.Count(), len(model))
+		}
+	})
+}

@@ -1,0 +1,312 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hcsgc/internal/simmem"
+)
+
+// ErrHeapFull is returned when committing a new page would exceed the
+// configured max heap size. Mutators respond by stalling until a GC cycle
+// reclaims pages (an "allocation stall" in ZGC terms).
+var ErrHeapFull = errors.New("heap: max heap size exceeded")
+
+// ErrAddressSpace is returned when the simulated address space is
+// exhausted. Addresses are handed out monotonically and never reused so
+// the cache model never sees two different objects alias the same line.
+var ErrAddressSpace = errors.New("heap: simulated address space exhausted")
+
+// Config sizes the heap.
+type Config struct {
+	// MaxBytes is the committed-heap limit (like -Xmx). Zero means 256 MB.
+	MaxBytes uint64
+	// AddrSpaceBytes bounds the monotonic simulated address space. Zero
+	// means 512 GB, far above what any benchmark run consumes.
+	AddrSpaceBytes uint64
+	// EnableTinyClass turns on the cache-line-magnitude page class that the
+	// paper proposes as future work.
+	EnableTinyClass bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxBytes == 0 {
+		out.MaxBytes = 256 << 20
+	}
+	if out.AddrSpaceBytes == 0 {
+		out.AddrSpaceBytes = 512 << 30
+	}
+	return out
+}
+
+// Heap is the simulated managed heap: a monotonic granule allocator, the
+// page table used by barriers to find an address's page, byte accounting
+// against MaxBytes, and a pool of recycled backing slices.
+type Heap struct {
+	cfg Config
+	mem *simmem.Hierarchy
+
+	// pageTable maps granule index -> page, covering the whole simulated
+	// address space. Multi-granule pages occupy all their slots.
+	pageTable []atomic.Pointer[Page]
+	// nextGranule is the bump allocator over address space; granule 0 is
+	// reserved so that address 0 stays null.
+	nextGranule atomic.Uint64
+	// usedBytes is committed page bytes (alloc adds, free subtracts).
+	usedBytes atomic.Int64
+	// seq numbers pages in allocation order.
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	live  map[*Page]struct{} // active (non-freed) pages, for EC iteration
+	pools map[Class]*sync.Pool
+
+	// PagesAllocated / PagesFreed are lifetime counters for reporting.
+	PagesAllocated atomic.Uint64
+	PagesFreed     atomic.Uint64
+}
+
+// New builds a heap bound to a memory-hierarchy model (may be nil in unit
+// tests that don't care about cache behaviour).
+func New(cfg Config, mem *simmem.Hierarchy) *Heap {
+	cfg = cfg.withDefaults()
+	granules := cfg.AddrSpaceBytes / Granule
+	h := &Heap{
+		cfg:       cfg,
+		mem:       mem,
+		pageTable: make([]atomic.Pointer[Page], granules),
+		live:      make(map[*Page]struct{}),
+		pools:     make(map[Class]*sync.Pool),
+	}
+	h.nextGranule.Store(1)
+	for _, cl := range []Class{ClassTiny, ClassSmall, ClassMedium} {
+		size := pageSizeOf(cl)
+		h.pools[cl] = &sync.Pool{New: func() any { return make([]uint64, size/WordSize) }}
+	}
+	return h
+}
+
+// pageSizeOf returns the fixed page size of non-large classes.
+func pageSizeOf(c Class) uint64 {
+	switch c {
+	case ClassTiny:
+		return TinyPageSize
+	case ClassSmall:
+		return SmallPageSize
+	case ClassMedium:
+		return MediumPageSize
+	default:
+		panic("heap: large pages have no fixed size")
+	}
+}
+
+// Config returns the effective configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// Mem returns the memory-hierarchy model (may be nil).
+func (h *Heap) Mem() *simmem.Hierarchy { return h.mem }
+
+// AllocPage commits a new page of a fixed-size class.
+func (h *Heap) AllocPage(class Class) (*Page, error) {
+	if class == ClassLarge {
+		return nil, errors.New("heap: use AllocLargePage for large objects")
+	}
+	if class == ClassTiny && !h.cfg.EnableTinyClass {
+		return nil, errors.New("heap: tiny page class not enabled")
+	}
+	size := pageSizeOf(class)
+	backing := h.pools[class].Get().([]uint64)
+	for i := range backing {
+		backing[i] = 0
+	}
+	p, err := h.installPage(size, class, backing)
+	if err != nil {
+		h.pools[class].Put(backing)
+	}
+	return p, err
+}
+
+// AllocPageForced commits a page of a fixed-size class, bypassing the
+// MaxBytes budget. Relocation target pages use this: relocation must never
+// fail mid-flight, so the collector overcommits briefly (ZGC reserves
+// relocation headroom for the same reason).
+func (h *Heap) AllocPageForced(class Class) (*Page, error) {
+	if class == ClassLarge {
+		return nil, errors.New("heap: use AllocLargePage for large objects")
+	}
+	size := pageSizeOf(class)
+	backing := h.pools[class].Get().([]uint64)
+	for i := range backing {
+		backing[i] = 0
+	}
+	p, err := h.installPageForced(size, class, backing)
+	if err != nil {
+		h.pools[class].Put(backing)
+	}
+	return p, err
+}
+
+// AllocLargePage commits a page for one object of objSize bytes
+// (> MediumObjectMax), rounded up to whole granules.
+func (h *Heap) AllocLargePage(objSize uint64) (*Page, error) {
+	size := (objSize + Granule - 1) / Granule * Granule
+	return h.installPage(size, ClassLarge, make([]uint64, size/WordSize))
+}
+
+func (h *Heap) installPage(size uint64, class Class, backing []uint64) (*Page, error) {
+	if uint64(h.usedBytes.Load())+size > h.cfg.MaxBytes {
+		return nil, ErrHeapFull
+	}
+	return h.installPageForced(size, class, backing)
+}
+
+func (h *Heap) installPageForced(size uint64, class Class, backing []uint64) (*Page, error) {
+	nGran := (size + Granule - 1) / Granule
+	g := h.nextGranule.Add(nGran) - nGran
+	if (g+nGran)*Granule > h.cfg.AddrSpaceBytes {
+		return nil, ErrAddressSpace
+	}
+	p := newPage(g*Granule, size, class, h.seq.Add(1), backing)
+	for i := uint64(0); i < nGran; i++ {
+		h.pageTable[g+i].Store(p)
+	}
+	h.usedBytes.Add(int64(size))
+	h.PagesAllocated.Add(1)
+	h.mu.Lock()
+	h.live[p] = struct{}{}
+	h.mu.Unlock()
+	return p, nil
+}
+
+// FreePage releases a page's committed bytes. The page's address range and
+// backing remain readable until DropPage so that in-flight relocations and
+// forwarding lookups stay valid (as in ZGC, where evacuated pages are
+// recycled but their forwarding tables survive until next mark end).
+func (h *Heap) FreePage(p *Page) {
+	if p.Freed() {
+		return
+	}
+	p.MarkFreed()
+	h.usedBytes.Add(-int64(p.Size()))
+	h.PagesFreed.Add(1)
+	h.mu.Lock()
+	delete(h.live, p)
+	h.mu.Unlock()
+}
+
+// DropPage releases the page's backing store (recycling it through the
+// pool) and its forwarding table. Only call when no stale pointers into
+// the page can remain, i.e. at the end of the mark following its
+// evacuation.
+func (h *Heap) DropPage(p *Page) {
+	words := p.words
+	p.DropForwarding()
+	if words != nil && p.class != ClassLarge {
+		h.pools[p.class].Put(words)
+	}
+}
+
+// PageOf returns the page containing addr, or nil for addresses outside
+// any allocated page.
+func (h *Heap) PageOf(addr uint64) *Page {
+	g := addr / Granule
+	if g >= uint64(len(h.pageTable)) {
+		return nil
+	}
+	return h.pageTable[g].Load()
+}
+
+// LivePages calls fn for every non-freed page. fn must not allocate or
+// free pages.
+func (h *Heap) LivePages(fn func(*Page)) {
+	h.mu.Lock()
+	pages := make([]*Page, 0, len(h.live))
+	for p := range h.live {
+		pages = append(pages, p)
+	}
+	h.mu.Unlock()
+	for _, p := range pages {
+		fn(p)
+	}
+}
+
+// CurrentSeq returns the sequence number of the most recently allocated
+// page; the collector snapshots it at STW1 to freeze the page set subject
+// to this cycle.
+func (h *Heap) CurrentSeq() uint64 { return h.seq.Load() }
+
+// UsedBytes returns the committed heap bytes.
+func (h *Heap) UsedBytes() uint64 { return uint64(h.usedBytes.Load()) }
+
+// UsedPercent returns committed bytes over MaxBytes in [0, 100].
+func (h *Heap) UsedPercent() float64 {
+	return 100 * float64(h.usedBytes.Load()) / float64(h.cfg.MaxBytes)
+}
+
+// MaxBytes returns the heap limit.
+func (h *Heap) MaxBytes() uint64 { return h.cfg.MaxBytes }
+
+// --- Simulated memory access ---
+//
+// All accesses take the accessor's simmem core so that loads and stores
+// feed the cache model and accumulate cycle costs on the right "hardware
+// thread". A nil core skips cache modelling (metadata-only paths).
+
+// LoadWord reads the 8-byte word at addr.
+func (h *Heap) LoadWord(c *simmem.Core, addr uint64) uint64 {
+	p := h.PageOf(addr)
+	if p == nil {
+		panic(fmt.Sprintf("heap: load from unmapped address %#x", addr))
+	}
+	if c != nil {
+		c.Load(addr, WordSize)
+	}
+	return p.loadWord(p.WordIndex(addr))
+}
+
+// StoreWord writes the 8-byte word at addr.
+func (h *Heap) StoreWord(c *simmem.Core, addr uint64, v uint64) {
+	p := h.PageOf(addr)
+	if p == nil {
+		panic(fmt.Sprintf("heap: store to unmapped address %#x", addr))
+	}
+	if c != nil {
+		c.Store(addr, WordSize)
+	}
+	p.storeWord(p.WordIndex(addr), v)
+}
+
+// CASWord atomically replaces old with new at addr; used by the load
+// barrier's self-healing store. The cache cost is that of a store.
+func (h *Heap) CASWord(c *simmem.Core, addr uint64, old, new uint64) bool {
+	p := h.PageOf(addr)
+	if p == nil {
+		panic(fmt.Sprintf("heap: cas on unmapped address %#x", addr))
+	}
+	if c != nil {
+		c.Store(addr, WordSize)
+	}
+	return p.casWord(p.WordIndex(addr), old, new)
+}
+
+// CopyObject copies size bytes of object data from src to dst, charging
+// the copier's core with the loads and stores. This is the relocation copy
+// (mutator or GC, whoever wins the race).
+func (h *Heap) CopyObject(c *simmem.Core, src, dst, size uint64) {
+	sp, dp := h.PageOf(src), h.PageOf(dst)
+	if sp == nil || dp == nil {
+		panic(fmt.Sprintf("heap: copy between unmapped addresses %#x -> %#x", src, dst))
+	}
+	words := (size + WordSize - 1) / WordSize
+	si, di := sp.WordIndex(src), dp.WordIndex(dst)
+	for i := uint64(0); i < words; i++ {
+		dp.storeWord(di+i, sp.loadWord(si+i))
+	}
+	if c != nil {
+		c.Load(src, int(size))
+		c.Store(dst, int(size))
+	}
+}

@@ -1,0 +1,80 @@
+package heap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteHeapMap renders an ASCII map of the committed pages: one row per
+// page with its class, occupancy, live ratio and hot ratio. It visualises
+// the hot/cold segregation the collector produces — after a few cycles
+// with COLDPAGE, hot-dense and cold-dense pages separate visibly.
+func (h *Heap) WriteHeapMap(w io.Writer) {
+	var pages []*Page
+	h.LivePages(func(p *Page) { pages = append(pages, p) })
+	sort.Slice(pages, func(i, j int) bool { return pages[i].Start() < pages[j].Start() })
+	fmt.Fprintf(w, "heap: %s / %s committed (%.1f%%), %d pages\n",
+		fmtSize(h.UsedBytes()), fmtSize(h.MaxBytes()), h.UsedPercent(), len(pages))
+	fmt.Fprintf(w, "%-14s %-7s %9s %7s %7s  %s\n", "page", "class", "used", "live%", "hot%", "occupancy (#=live-hot, +=hot, .=allocated)")
+	for _, p := range pages {
+		liveRatio := 100 * p.LiveRatio()
+		hotRatio := 0.0
+		if p.LiveBytes() > 0 {
+			hotRatio = 100 * float64(p.HotBytes()) / float64(p.Size())
+		}
+		usedRatio := float64(p.UsedBytes()) / float64(p.Size())
+		bar := renderBar(usedRatio, p.LiveRatio(), float64(p.HotBytes())/float64(p.Size()), 40)
+		fmt.Fprintf(w, "%#-14x %-7s %9s %6.1f%% %6.1f%%  %s\n",
+			p.Start(), p.Class(), fmtSize(p.UsedBytes()), liveRatio, hotRatio, bar)
+	}
+}
+
+// renderBar draws `width` cells: '+' for the hot fraction, '#' for the
+// remaining live fraction, '.' for allocated-but-unmarked, ' ' for free.
+func renderBar(used, live, hot float64, width int) string {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	used, live, hot = clamp(used), clamp(live), clamp(hot)
+	if hot > live {
+		live = hot
+	}
+	if live > used {
+		used = live
+	}
+	cells := make([]byte, width)
+	for i := range cells {
+		frac := float64(i) / float64(width)
+		switch {
+		case frac < hot:
+			cells[i] = '+'
+		case frac < live:
+			cells[i] = '#'
+		case frac < used:
+			cells[i] = '.'
+		default:
+			cells[i] = ' '
+		}
+	}
+	return string(cells)
+}
+
+func fmtSize(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,309 @@
+package heap
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Page size classes per Table 1 of the paper, plus the "cache-line
+// magnitude" Tiny class the paper proposes as future work (§3.4, §4.8),
+// which this reproduction implements as an optional extension.
+const (
+	// SmallPageSize is 2 MB; small pages hold objects of (0, 256] KB.
+	SmallPageSize = 2 << 20
+	// SmallObjectMax is the largest object placed on a small page.
+	SmallObjectMax = 256 << 10
+	// MediumPageSize is 32 MB; medium pages hold objects of (256 KB, 4 MB].
+	MediumPageSize = 32 << 20
+	// MediumObjectMax is the largest object placed on a medium page.
+	MediumObjectMax = 4 << 20
+	// Granule is the unit of heap address allocation; large pages are a
+	// multiple of it ("N x 2 (> 4) Mb" in Table 1).
+	Granule = 2 << 20
+
+	// TinyPageSize and TinyObjectMax define the extension class: a page
+	// whose max object size is of cache-line magnitude, enabling
+	// fine-grained relocation. Disabled unless Config.EnableTinyClass.
+	TinyPageSize  = 64 << 10
+	TinyObjectMax = 256
+)
+
+// Class identifies the size class of a page.
+type Class uint8
+
+// The page classes. ClassTiny participates only when the extension is on.
+const (
+	ClassTiny Class = iota
+	ClassSmall
+	ClassMedium
+	ClassLarge
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassTiny:
+		return "tiny"
+	case ClassSmall:
+		return "small"
+	case ClassMedium:
+		return "medium"
+	case ClassLarge:
+		return "large"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Page is one region of the simulated heap. Object data lives in words;
+// the page's simulated address range is [Start, Start+Size). Metadata
+// (livemap, hotmap, forwarding) mirrors ZGC's per-page structures.
+type Page struct {
+	start uint64
+	size  uint64
+	class Class
+	// Seq is the global allocation sequence number of the page; EC
+	// selection only considers pages allocated before the cycle began
+	// ("allocated prior to STW1", §2.2).
+	Seq uint64
+
+	words []uint64
+	// top is the bump pointer: the next free simulated address.
+	top atomic.Uint64
+
+	livemap *Bitmap
+	hotmap  *Bitmap
+	// liveBytes/hotBytes/liveObjects are accumulated during marking.
+	liveBytes   atomic.Uint64
+	hotBytes    atomic.Uint64
+	liveObjects atomic.Int64
+
+	// fwd is installed when the page is selected for evacuation.
+	fwd atomic.Pointer[ForwardTable]
+	// inEC marks the page as an evacuation candidate for the current
+	// relocation era.
+	inEC atomic.Bool
+	// remaining counts live objects not yet relocated; hitting zero allows
+	// the page to be recycled.
+	remaining atomic.Int64
+	// freed marks a recycled page (address space retired, backing kept
+	// until the forwarding registry is dropped at next mark end).
+	freed atomic.Bool
+}
+
+// newPage wires a page over a fresh address range with a backing slice.
+func newPage(start, size uint64, class Class, seq uint64, backing []uint64) *Page {
+	p := &Page{start: start, size: size, class: class, Seq: seq, words: backing}
+	p.top.Store(start)
+	bits := int(size / WordSize)
+	p.livemap = NewBitmap(bits)
+	p.hotmap = NewBitmap(bits)
+	return p
+}
+
+// Start returns the page's first simulated address.
+func (p *Page) Start() uint64 { return p.start }
+
+// Size returns the page size in bytes.
+func (p *Page) Size() uint64 { return p.size }
+
+// End returns one past the last simulated address.
+func (p *Page) End() uint64 { return p.start + p.size }
+
+// Class returns the page's size class.
+func (p *Page) Class() Class { return p.class }
+
+// Contains reports whether addr falls inside the page.
+func (p *Page) Contains(addr uint64) bool { return addr >= p.start && addr < p.End() }
+
+// WordIndex converts a simulated address within the page to a word offset.
+func (p *Page) WordIndex(addr uint64) uint64 { return (addr - p.start) / WordSize }
+
+// AllocRaw bump-allocates size bytes (word aligned), returning the object
+// address or 0 when the page is full. Safe for concurrent use.
+func (p *Page) AllocRaw(size uint64) uint64 {
+	size = (size + WordSize - 1) &^ uint64(WordSize-1)
+	for {
+		old := p.top.Load()
+		if old+size > p.End() {
+			return 0
+		}
+		if p.top.CompareAndSwap(old, old+size) {
+			return old
+		}
+	}
+}
+
+// UndoAlloc returns the most recent allocation if nothing allocated after
+// it; used by relocation losers to give back their discarded copy. Reports
+// whether the space was reclaimed.
+func (p *Page) UndoAlloc(addr, size uint64) bool {
+	size = (size + WordSize - 1) &^ uint64(WordSize-1)
+	return p.top.CompareAndSwap(addr+size, addr)
+}
+
+// UsedBytes returns the bytes consumed by the bump pointer.
+func (p *Page) UsedBytes() uint64 { return p.top.Load() - p.start }
+
+// FreeBytes returns the bytes remaining for allocation.
+func (p *Page) FreeBytes() uint64 { return p.End() - p.top.Load() }
+
+// loadWord/storeWord/casWord operate on the backing store with atomic
+// semantics so that application-level races and concurrent GC copying are
+// well defined for Go's race detector.
+
+func (p *Page) loadWord(idx uint64) uint64 {
+	return atomic.LoadUint64(&p.words[idx])
+}
+
+func (p *Page) storeWord(idx uint64, v uint64) {
+	atomic.StoreUint64(&p.words[idx], v)
+}
+
+func (p *Page) casWord(idx uint64, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&p.words[idx], old, new)
+}
+
+// MarkLive sets the live bit for the object at addr of the given byte
+// size; returns true if this call marked it (first marker wins and
+// accounts the live bytes).
+func (p *Page) MarkLive(addr, size uint64) bool {
+	if !p.livemap.TestAndSet(int(p.WordIndex(addr))) {
+		return false
+	}
+	p.liveBytes.Add(size)
+	p.liveObjects.Add(1)
+	return true
+}
+
+// IsLive reports whether the object at addr was marked in this cycle.
+func (p *Page) IsLive(addr uint64) bool {
+	return p.livemap.Get(int(p.WordIndex(addr)))
+}
+
+// MarkHot sets the hot bit for the object at addr (paper §3.1.2); returns
+// true if this call set it, in which case the caller's size is added to
+// the page's hot bytes.
+func (p *Page) MarkHot(addr, size uint64) bool {
+	if !p.hotmap.TestAndSet(int(p.WordIndex(addr))) {
+		return false
+	}
+	p.hotBytes.Add(size)
+	return true
+}
+
+// IsHot reports whether the object at addr is flagged hot.
+func (p *Page) IsHot(addr uint64) bool {
+	return p.hotmap.Get(int(p.WordIndex(addr)))
+}
+
+// ResetMarks clears livemap, hotmap and the per-page accumulators. Called
+// at mark start, which "renders all objects cold effectively" (§3.1.2).
+func (p *Page) ResetMarks() {
+	p.livemap.Clear()
+	p.hotmap.Clear()
+	p.liveBytes.Store(0)
+	p.hotBytes.Store(0)
+	p.liveObjects.Store(0)
+}
+
+// LiveBytes returns the bytes of marked objects.
+func (p *Page) LiveBytes() uint64 { return p.liveBytes.Load() }
+
+// HotBytes returns the bytes of hot-marked objects.
+func (p *Page) HotBytes() uint64 { return p.hotBytes.Load() }
+
+// ColdBytes returns live bytes minus hot bytes. Hot objects are always a
+// subset of live objects (both are recorded during the same mark).
+func (p *Page) ColdBytes() uint64 {
+	lb, hb := p.liveBytes.Load(), p.hotBytes.Load()
+	if hb > lb {
+		return 0
+	}
+	return lb - hb
+}
+
+// LiveObjects returns the marked object count.
+func (p *Page) LiveObjects() int64 { return p.liveObjects.Load() }
+
+// LiveRatio returns live bytes over page size.
+func (p *Page) LiveRatio() float64 { return float64(p.LiveBytes()) / float64(p.size) }
+
+// WeightedLiveBytes implements the paper's §3.1.3 formula:
+//
+//	WLB = cold bytes                                  if hot bytes == 0
+//	WLB = hot bytes + cold bytes * (1 - coldConf)     otherwise
+func (p *Page) WeightedLiveBytes(coldConfidence float64) uint64 {
+	hot, cold := p.HotBytes(), p.ColdBytes()
+	if hot == 0 {
+		return cold
+	}
+	return hot + uint64(float64(cold)*(1-coldConfidence))
+}
+
+// SelectForEvacuation installs a forwarding table sized for the page's
+// live-object count and flags the page as an evacuation candidate.
+func (p *Page) SelectForEvacuation() {
+	n := int(p.liveObjects.Load())
+	p.fwd.Store(NewForwardTable(n))
+	p.remaining.Store(int64(n))
+	p.inEC.Store(true)
+}
+
+// InEC reports whether the page is an evacuation candidate.
+func (p *Page) InEC() bool { return p.inEC.Load() }
+
+// Forwarding returns the page's forwarding table, or nil when the page is
+// not (or no longer) an evacuation candidate of the current era.
+func (p *Page) Forwarding() *ForwardTable { return p.fwd.Load() }
+
+// ObjectRelocated decrements the not-yet-relocated count and reports
+// whether this was the last live object (page now fully evacuated).
+func (p *Page) ObjectRelocated() bool {
+	return p.remaining.Add(-1) == 0
+}
+
+// Remaining returns the number of live objects still to relocate.
+func (p *Page) Remaining() int64 { return p.remaining.Load() }
+
+// MarkFreed flags the page as recycled.
+func (p *Page) MarkFreed() { p.freed.Store(true) }
+
+// Freed reports whether the page has been recycled.
+func (p *Page) Freed() bool { return p.freed.Load() }
+
+// DropForwarding releases the forwarding table and backing store; called
+// when the forwarding registry is dropped at the end of the next mark, at
+// which point no stale pointers into this page can remain.
+func (p *Page) DropForwarding() {
+	p.fwd.Store(nil)
+	p.inEC.Store(false)
+	p.words = nil
+	p.livemap = nil
+	p.hotmap = nil
+}
+
+// Livemap exposes the page's live bitmap for the relocation drain, which
+// walks live objects in address order.
+func (p *Page) Livemap() *Bitmap { return p.livemap }
+
+// String summarises the page for logs.
+func (p *Page) String() string {
+	return fmt.Sprintf("page{%s %#x+%dK live=%d hot=%d}",
+		p.class, p.start, p.size>>10, p.LiveBytes(), p.HotBytes())
+}
+
+// ClassFor returns the page class for an object of the given byte size,
+// honouring the optional tiny class.
+func ClassFor(size uint64, tinyEnabled bool) Class {
+	switch {
+	case tinyEnabled && size <= TinyObjectMax:
+		return ClassTiny
+	case size <= SmallObjectMax:
+		return ClassSmall
+	case size <= MediumObjectMax:
+		return ClassMedium
+	default:
+		return ClassLarge
+	}
+}

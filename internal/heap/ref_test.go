@@ -1,0 +1,118 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRefRoundTrip(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		c    Color
+	}{
+		{0x200000, ColorMarked0},
+		{0x200000, ColorMarked1},
+		{0x200000, ColorRemapped},
+		{AddrMask, ColorMarked0}, // max address
+		{8, ColorRemapped},
+	}
+	for _, tc := range cases {
+		r := MakeRef(tc.addr, tc.c)
+		if r.Addr() != tc.addr {
+			t.Errorf("MakeRef(%#x,%v).Addr() = %#x", tc.addr, tc.c, r.Addr())
+		}
+		if r.Color() != tc.c {
+			t.Errorf("MakeRef(%#x,%v).Color() = %v", tc.addr, tc.c, r.Color())
+		}
+		if r.IsNull() {
+			t.Errorf("non-zero ref reported null")
+		}
+	}
+}
+
+func TestNullRef(t *testing.T) {
+	if !NullRef.IsNull() {
+		t.Fatal("NullRef must be null")
+	}
+	if NullRef.Addr() != 0 || NullRef.Color() != 0 {
+		t.Fatal("NullRef must have zero addr and color")
+	}
+	if NullRef.String() != "null" {
+		t.Fatalf("NullRef.String() = %q", NullRef.String())
+	}
+}
+
+func TestRecolor(t *testing.T) {
+	r := MakeRef(0x4000, ColorMarked0)
+	r2 := r.Recolor(ColorRemapped)
+	if r2.Addr() != 0x4000 {
+		t.Errorf("Recolor changed address: %#x", r2.Addr())
+	}
+	if r2.Color() != ColorRemapped {
+		t.Errorf("Recolor color = %v, want R", r2.Color())
+	}
+	if r2.HasColor(ColorMarked0) {
+		t.Error("old color bit must be cleared")
+	}
+}
+
+func TestHasColor(t *testing.T) {
+	r := MakeRef(0x1000, ColorMarked1)
+	if !r.HasColor(ColorMarked1) || r.HasColor(ColorMarked0) || r.HasColor(ColorRemapped) {
+		t.Fatalf("HasColor wrong for %v", r)
+	}
+}
+
+func TestColorsAreDistinctBits(t *testing.T) {
+	all := uint64(ColorMarked0) | uint64(ColorMarked1) | uint64(ColorRemapped)
+	if all != ColorMaskAll {
+		t.Fatal("ColorMaskAll must cover exactly the three colors")
+	}
+	if uint64(ColorMarked0)&AddrMask != 0 || uint64(ColorMarked1)&AddrMask != 0 || uint64(ColorRemapped)&AddrMask != 0 {
+		t.Fatal("color bits must not overlap address bits")
+	}
+	if uint64(ColorMarked0)&uint64(ColorMarked1) != 0 || uint64(ColorMarked0)&uint64(ColorRemapped) != 0 || uint64(ColorMarked1)&uint64(ColorRemapped) != 0 {
+		t.Fatal("color bits must be disjoint")
+	}
+}
+
+func TestRefStringMnemonics(t *testing.T) {
+	cases := map[Color]string{
+		ColorMarked0:  "M0",
+		ColorMarked1:  "M1",
+		ColorRemapped: "R",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Color.String() = %q, want %q", got, want)
+		}
+		s := MakeRef(0x20, c).String()
+		if len(s) == 0 || s[:len(want)] != want {
+			t.Errorf("Ref.String() = %q, want prefix %q", s, want)
+		}
+	}
+}
+
+func TestPropertyRefRoundTrip(t *testing.T) {
+	colors := []Color{ColorMarked0, ColorMarked1, ColorRemapped}
+	f := func(addr uint64, ci uint8) bool {
+		addr &= AddrMask
+		c := colors[int(ci)%len(colors)]
+		r := MakeRef(addr, c)
+		return r.Addr() == addr && r.Color() == c && r.Recolor(c) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeRefTruncatesHighAddressBits(t *testing.T) {
+	// Addresses above AddrMask are masked; MakeRef never corrupts colors.
+	r := MakeRef(^uint64(0), ColorMarked0)
+	if r.Addr() != AddrMask {
+		t.Fatalf("Addr = %#x, want %#x", r.Addr(), uint64(AddrMask))
+	}
+	if r.Color() != ColorMarked0 {
+		t.Fatalf("Color = %v, want M0", r.Color())
+	}
+}

@@ -1,0 +1,64 @@
+package heapdb
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hcsgc/internal/core"
+	"hcsgc/internal/heap"
+	"hcsgc/internal/objmodel"
+)
+
+// FuzzPutGetScan interprets the fuzz input as a sequence of keyed put/get
+// operations and checks the B-tree against a map model, with a GC cycle
+// sprinkled in.
+func FuzzPutGetScan(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 1, 1, 3, 0})
+	f.Add([]byte{255, 254, 253, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 512 {
+			program = program[:512]
+		}
+		h := heap.New(heap.Config{MaxBytes: 32 << 20}, nil)
+		reg := objmodel.NewRegistry()
+		c := core.MustNew(h, reg, core.Config{Knobs: core.Knobs{LazyRelocate: true, RelocateAllSmallPages: true}})
+		types := RegisterTypes(reg)
+		m := c.NewMutator(RootSlots)
+		defer m.Close()
+		db := New(m, types, 0)
+		model := map[uint64]uint64{}
+
+		for i := 0; i+2 < len(program); i += 3 {
+			k := uint64(binary.LittleEndian.Uint16(program[i:])) + 1
+			switch program[i+2] % 4 {
+			case 0, 1:
+				v := uint64(program[i+2]) * 31
+				db.Put(m, k, v)
+				model[k] = v
+			case 2:
+				v, ok := db.Get(m, k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("Get(%d) = %d,%v; model %d,%v", k, v, ok, mv, mok)
+				}
+			case 3:
+				if len(model)%7 == 0 {
+					m.RequestGC()
+				}
+			}
+		}
+		if db.Size() != len(model) {
+			t.Fatalf("size %d != model %d", db.Size(), len(model))
+		}
+		n := 0
+		db.Scan(m, 0, len(model)+1, func(k, v uint64) {
+			if model[k] != v {
+				t.Fatalf("scan (%d,%d) != model %d", k, v, model[k])
+			}
+			n++
+		})
+		if n != len(model) {
+			t.Fatalf("scan visited %d of %d", n, len(model))
+		}
+	})
+}

@@ -1,0 +1,303 @@
+// Package heapdb is an in-heap ordered key/value store — a B-tree whose
+// nodes and rows are objects on the managed heap — standing in for the H2
+// in-memory database of the paper's DaCapo h2 benchmark (§4.6).
+// Long-lived rows reached through pointer-chasing descents are exactly the
+// object population whose layout HCSGC improves.
+//
+// The tree is a "max-key" B-tree: every node (leaf or internal) holds c
+// keys and c children, and key j is the maximum key of subtree j (for a
+// leaf, the row key itself). This keeps leaves and internal nodes
+// perfectly uniform, which keeps the split logic simple.
+//
+// Reference discipline: the only safepoints inside DB operations are the
+// ones hidden in allocation. Every reference that must survive an
+// allocation is pinned in a mutator root slot first and re-derived after,
+// mirroring how a JVM's stack roots keep references current across GC.
+package heapdb
+
+import (
+	"hcsgc/internal/core"
+	"hcsgc/internal/heap"
+	"hcsgc/internal/objmodel"
+)
+
+// maxKeys is the node fanout; splits happen at maxKeys.
+const maxKeys = 8
+
+// Node field layout: keys in [0, maxKeys), children (subtrees, or row refs
+// in leaves) in [maxKeys, 2*maxKeys), then count and leaf flag.
+const (
+	fKeys     = 0
+	fChildren = maxKeys
+	fCount    = 2 * maxKeys
+	fLeaf     = fCount + 1
+
+	nodeFields = fLeaf + 1
+)
+
+// Row field layout: key, payload, mutation stamp, and a ref to a detail
+// object (row access chases one more pointer, like H2's value objects).
+const (
+	rKey     = 0
+	rPayload = 1
+	rStamp   = 2
+	rDetail  = 3
+
+	rowFields    = 4
+	detailFields = 3
+)
+
+// Root-slot usage relative to base: the tree root plus pins that keep
+// references current across allocations.
+const (
+	slotRoot = 0
+	slotPinA = 1 // current node during descent
+	slotPinB = 2 // full child during split
+	slotPinC = 3 // freshly allocated row
+)
+
+// RootSlots is the number of mutator root slots a DB needs.
+const RootSlots = 4
+
+// Types bundles the registered layouts.
+type Types struct {
+	Node   *objmodel.Type
+	Row    *objmodel.Type
+	Detail *objmodel.Type
+}
+
+// RegisterTypes registers the B-tree layouts. Call once per runtime.
+func RegisterTypes(types *objmodel.Registry) Types {
+	refs := make([]int, maxKeys)
+	for i := range refs {
+		refs[i] = fChildren + i
+	}
+	return Types{
+		Node:   types.Register("heapdb.node", nodeFields, refs),
+		Row:    types.Register("heapdb.row", rowFields, []int{rDetail}),
+		Detail: types.Register("heapdb.detail", detailFields, nil),
+	}
+}
+
+// DB is one B-tree bound to the owning mutator's root slots
+// [base, base+RootSlots).
+type DB struct {
+	types Types
+	base  int
+	size  int
+	// stamp increments on every mutation, written into rows.
+	stamp uint64
+}
+
+// New creates an empty DB using the mutator's root slots starting at base.
+func New(m *core.Mutator, types Types, base int) *DB {
+	db := &DB{types: types, base: base}
+	root := m.Alloc(types.Node)
+	m.StoreField(root, fLeaf, 1)
+	m.SetRoot(base+slotRoot, root)
+	return db
+}
+
+// Size returns the number of rows.
+func (db *DB) Size() int { return db.size }
+
+func (db *DB) root(m *core.Mutator) heap.Ref { return m.LoadRoot(db.base + slotRoot) }
+
+func count(m *core.Mutator, n heap.Ref) int   { return int(m.LoadField(n, fCount)) }
+func isLeaf(m *core.Mutator, n heap.Ref) bool { return m.LoadField(n, fLeaf) != 0 }
+func nkey(m *core.Mutator, n heap.Ref, i int) uint64 {
+	return m.LoadField(n, fKeys+i)
+}
+func child(m *core.Mutator, n heap.Ref, i int) heap.Ref {
+	return m.LoadRef(n, fChildren+i)
+}
+
+// findIdx returns the first index i < count with key(n,i) >= k, or count.
+func findIdx(m *core.Mutator, n heap.Ref, k uint64) int {
+	c := count(m, n)
+	i := 0
+	for i < c && nkey(m, n, i) < k {
+		i++
+	}
+	return i
+}
+
+// findRow descends to the row for key k.
+func (db *DB) findRow(m *core.Mutator, k uint64) (heap.Ref, bool) {
+	n := db.root(m)
+	for {
+		c := count(m, n)
+		i := findIdx(m, n, k)
+		if i == c {
+			return heap.NullRef, false // k exceeds the subtree max
+		}
+		if isLeaf(m, n) {
+			if nkey(m, n, i) == k {
+				return child(m, n, i), true
+			}
+			return heap.NullRef, false
+		}
+		n = child(m, n, i)
+	}
+}
+
+// Get returns the payload of key k.
+func (db *DB) Get(m *core.Mutator, k uint64) (uint64, bool) {
+	row, ok := db.findRow(m, k)
+	if !ok {
+		return 0, false
+	}
+	return m.LoadField(row, rPayload), true
+}
+
+// GetDetail returns the first word of k's detail object, chasing the
+// row -> detail pointer.
+func (db *DB) GetDetail(m *core.Mutator, k uint64) (uint64, bool) {
+	row, ok := db.findRow(m, k)
+	if !ok {
+		return 0, false
+	}
+	d := m.LoadRef(row, rDetail)
+	if d.IsNull() {
+		return 0, true
+	}
+	return m.LoadField(d, 0), true
+}
+
+// Scan visits up to limit rows with keys >= start in ascending key order.
+// Returns the number visited. No allocation happens inside, so held
+// references stay valid for the whole scan.
+func (db *DB) Scan(m *core.Mutator, start uint64, limit int, visit func(k, payload uint64)) int {
+	if limit <= 0 {
+		return 0
+	}
+	visited := 0
+	var walk func(n heap.Ref) bool
+	walk = func(n heap.Ref) bool {
+		c := count(m, n)
+		if isLeaf(m, n) {
+			for i := 0; i < c; i++ {
+				k := nkey(m, n, i)
+				if k < start {
+					continue
+				}
+				visit(k, m.LoadField(child(m, n, i), rPayload))
+				visited++
+				if visited >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		for i := findIdx(m, n, start); i < c; i++ {
+			if !walk(child(m, n, i)) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(db.root(m))
+	return visited
+}
+
+// Put inserts or replaces key k with the given payload. Replacement
+// allocates a fresh row and detail (the old ones become garbage), which is
+// the update churn H2 exhibits.
+func (db *DB) Put(m *core.Mutator, k uint64, payload uint64) {
+	db.stamp++
+	// Allocate row + detail up front; no references held yet.
+	detail := m.Alloc(db.types.Detail)
+	m.StoreField(detail, 0, payload^k)
+	m.SetRoot(db.base+slotPinC, detail)
+	row := m.Alloc(db.types.Row)
+	m.StoreField(row, rKey, k)
+	m.StoreField(row, rPayload, payload)
+	m.StoreField(row, rStamp, db.stamp)
+	m.StoreRef(row, rDetail, m.LoadRoot(db.base+slotPinC))
+	m.SetRoot(db.base+slotPinC, row)
+
+	if count(m, db.root(m)) == maxKeys {
+		db.splitRoot(m)
+	}
+	m.SetRoot(db.base+slotPinA, db.root(m))
+	for {
+		cur := m.LoadRoot(db.base + slotPinA)
+		c := count(m, cur)
+		i := findIdx(m, cur, k)
+		if isLeaf(m, cur) {
+			if i < c && nkey(m, cur, i) == k {
+				m.StoreRef(cur, fChildren+i, m.LoadRoot(db.base+slotPinC))
+				return
+			}
+			for j := c; j > i; j-- {
+				m.StoreField(cur, fKeys+j, nkey(m, cur, j-1))
+				m.StoreRef(cur, fChildren+j, child(m, cur, j-1))
+			}
+			m.StoreField(cur, fKeys+i, k)
+			m.StoreRef(cur, fChildren+i, m.LoadRoot(db.base+slotPinC))
+			m.StoreField(cur, fCount, uint64(c+1))
+			db.size++
+			return
+		}
+		if i == c {
+			// k becomes the new maximum of the rightmost subtree.
+			i = c - 1
+			m.StoreField(cur, fKeys+i, k)
+		}
+		if count(m, child(m, cur, i)) == maxKeys {
+			db.splitChild(m, i)
+			cur = m.LoadRoot(db.base + slotPinA)
+			if k > nkey(m, cur, i) {
+				i++
+			}
+		}
+		m.SetRoot(db.base+slotPinA, child(m, cur, i))
+	}
+}
+
+// splitRoot grows the tree by one level.
+func (db *DB) splitRoot(m *core.Mutator) {
+	m.SetRoot(db.base+slotPinA, db.root(m))
+	newRoot := m.Alloc(db.types.Node)
+	old := m.LoadRoot(db.base + slotPinA)
+	m.StoreField(newRoot, fKeys+0, nkey(m, old, count(m, old)-1))
+	m.StoreRef(newRoot, fChildren+0, old)
+	m.StoreField(newRoot, fCount, 1)
+	m.SetRoot(db.base+slotRoot, newRoot)
+	m.SetRoot(db.base+slotPinA, newRoot)
+	db.splitChild(m, 0)
+}
+
+// splitChild splits the full i-th child of the node pinned in slotPinA.
+// The left half keeps the low keys; the right half becomes a new sibling
+// at index i+1 whose max is the old child's max.
+func (db *DB) splitChild(m *core.Mutator, i int) {
+	parent := m.LoadRoot(db.base + slotPinA)
+	m.SetRoot(db.base+slotPinB, child(m, parent, i))
+	sib := m.Alloc(db.types.Node)
+	parent = m.LoadRoot(db.base + slotPinA)
+	full := m.LoadRoot(db.base + slotPinB)
+
+	if isLeaf(m, full) {
+		m.StoreField(sib, fLeaf, 1)
+	}
+	half := maxKeys / 2
+	right := maxKeys - half
+	for j := 0; j < right; j++ {
+		m.StoreField(sib, fKeys+j, nkey(m, full, half+j))
+		m.StoreRef(sib, fChildren+j, child(m, full, half+j))
+	}
+	m.StoreField(sib, fCount, uint64(right))
+	m.StoreField(full, fCount, uint64(half))
+
+	oldMax := nkey(m, parent, i) // == max(full) == max(right half)
+	pc := count(m, parent)
+	for j := pc; j >= i+2; j-- {
+		m.StoreField(parent, fKeys+j, nkey(m, parent, j-1))
+		m.StoreRef(parent, fChildren+j, child(m, parent, j-1))
+	}
+	m.StoreField(parent, fKeys+i, nkey(m, full, half-1)) // max(left)
+	m.StoreField(parent, fKeys+i+1, oldMax)
+	m.StoreRef(parent, fChildren+i+1, sib)
+	m.StoreField(parent, fCount, uint64(pc+1))
+}

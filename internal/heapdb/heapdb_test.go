@@ -1,0 +1,235 @@
+package heapdb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hcsgc/internal/core"
+	"hcsgc/internal/heap"
+	"hcsgc/internal/objmodel"
+)
+
+func newDB(t *testing.T, knobs core.Knobs) (*DB, *core.Mutator) {
+	t.Helper()
+	h := heap.New(heap.Config{MaxBytes: 128 << 20}, nil)
+	reg := objmodel.NewRegistry()
+	c, err := core.New(h, reg, core.Config{Knobs: knobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := RegisterTypes(reg)
+	m := c.NewMutator(RootSlots + 2)
+	t.Cleanup(m.Close)
+	return New(m, types, 0), m
+}
+
+func TestEmptyDB(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	if db.Size() != 0 {
+		t.Fatal("fresh DB not empty")
+	}
+	if _, ok := db.Get(m, 42); ok {
+		t.Fatal("Get on empty DB must miss")
+	}
+	if n := db.Scan(m, 0, 10, func(k, v uint64) {}); n != 0 {
+		t.Fatal("Scan on empty DB must visit nothing")
+	}
+}
+
+func TestPutGetSingle(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	db.Put(m, 7, 700)
+	if v, ok := db.Get(m, 7); !ok || v != 700 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if _, ok := db.Get(m, 8); ok {
+		t.Fatal("absent key must miss")
+	}
+	if db.Size() != 1 {
+		t.Fatalf("size = %d", db.Size())
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	db.Put(m, 5, 50)
+	db.Put(m, 5, 51)
+	if v, _ := db.Get(m, 5); v != 51 {
+		t.Fatalf("replaced value = %d", v)
+	}
+	if db.Size() != 1 {
+		t.Fatalf("size after replace = %d", db.Size())
+	}
+}
+
+func TestSequentialInsertAscending(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	const n = 1000
+	for i := uint64(1); i <= n; i++ {
+		db.Put(m, i, i*10)
+	}
+	if db.Size() != n {
+		t.Fatalf("size = %d", db.Size())
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := db.Get(m, i); !ok || v != i*10 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSequentialInsertDescending(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	const n = 1000
+	for i := n; i >= 1; i-- {
+		db.Put(m, uint64(i), uint64(i))
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := db.Get(m, i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestScanOrderedComplete(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	keys := rand.New(rand.NewSource(3)).Perm(500)
+	for _, k := range keys {
+		db.Put(m, uint64(k+1), uint64(k))
+	}
+	var got []uint64
+	n := db.Scan(m, 0, 10000, func(k, v uint64) { got = append(got, k) })
+	if n != 500 || len(got) != 500 {
+		t.Fatalf("scan visited %d", n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("scan out of order at %d: %d <= %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	for i := uint64(0); i < 100; i++ {
+		db.Put(m, i*2, i) // even keys 0..198
+	}
+	var got []uint64
+	db.Scan(m, 51, 5, func(k, v uint64) { got = append(got, k) })
+	want := []uint64{52, 54, 56, 58, 60}
+	if len(got) != 5 {
+		t.Fatalf("scan got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGetDetail(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	db.Put(m, 9, 90)
+	d, ok := db.GetDetail(m, 9)
+	if !ok || d != 90^9 {
+		t.Fatalf("detail = %d,%v, want %d", d, ok, 90^9)
+	}
+	if _, ok := db.GetDetail(m, 10); ok {
+		t.Fatal("absent detail must miss")
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	db, m := newDB(t, core.Knobs{})
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(17))
+	for op := 0; op < 20000; op++ {
+		k := uint64(rng.Intn(3000)) + 1
+		switch rng.Intn(3) {
+		case 0, 1: // put
+			v := rng.Uint64() >> 1
+			db.Put(m, k, v)
+			ref[k] = v
+		case 2: // get
+			v, ok := db.Get(m, k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v, want %d,%v", op, k, v, ok, rv, rok)
+			}
+		}
+	}
+	if db.Size() != len(ref) {
+		t.Fatalf("size = %d, want %d", db.Size(), len(ref))
+	}
+	// Full scan agrees with the sorted reference.
+	var refKeys []uint64
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Slice(refKeys, func(i, j int) bool { return refKeys[i] < refKeys[j] })
+	i := 0
+	db.Scan(m, 0, len(ref)+1, func(k, v uint64) {
+		if i < len(refKeys) && (k != refKeys[i] || v != ref[k]) {
+			t.Fatalf("scan[%d] = (%d,%d), want (%d,%d)", i, k, v, refKeys[i], ref[refKeys[i]])
+		}
+		i++
+	})
+	if i != len(refKeys) {
+		t.Fatalf("scan visited %d, want %d", i, len(refKeys))
+	}
+}
+
+func TestSurvivesGC(t *testing.T) {
+	db, m := newDB(t, core.Knobs{Hotness: true, ColdConfidence: 1.0, LazyRelocate: true})
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(19))
+	for round := 0; round < 6; round++ {
+		for op := 0; op < 2000; op++ {
+			k := uint64(rng.Intn(5000)) + 1
+			v := rng.Uint64() >> 1
+			db.Put(m, k, v)
+			ref[k] = v
+		}
+		m.RequestGC()
+		// Everything must still be reachable and correct.
+		for k, v := range ref {
+			got, ok := db.Get(m, k)
+			if !ok || got != v {
+				t.Fatalf("round %d: Get(%d) = %d,%v, want %d", round, k, got, ok, v)
+			}
+		}
+	}
+	if db.Size() != len(ref) {
+		t.Fatalf("size = %d, want %d", db.Size(), len(ref))
+	}
+}
+
+func TestUpdateChurnCreatesGarbage(t *testing.T) {
+	// Repeated replacement of the same keys must produce reclaimable
+	// garbage (old rows/details).
+	h := heap.New(heap.Config{MaxBytes: 32 << 20}, nil)
+	reg := objmodel.NewRegistry()
+	c := core.MustNew(h, reg, core.Config{})
+	types := RegisterTypes(reg)
+	m := c.NewMutator(RootSlots)
+	defer m.Close()
+	db := New(m, types, 0)
+	for i := uint64(0); i < 100; i++ {
+		db.Put(m, i, i)
+	}
+	for round := 0; round < 2000; round++ {
+		for i := uint64(0); i < 100; i++ {
+			db.Put(m, i, uint64(round))
+		}
+	}
+	used := h.UsedBytes()
+	m.RequestGC()
+	m.RequestGC() // second cycle completes relocation & frees pages
+	if h.UsedBytes() >= used {
+		t.Fatalf("update churn garbage not reclaimed: %d -> %d", used, h.UsedBytes())
+	}
+	if v, _ := db.Get(m, 50); v != 1999 {
+		t.Fatalf("final value = %d", v)
+	}
+}

@@ -1,0 +1,99 @@
+// Package machine models execution time on a multi-core machine from the
+// cycle ledgers produced by the simulation: mutator cycles (memory access
+// costs from the cache model plus compute), concurrent GC-thread cycles,
+// and stop-the-world pause cycles.
+//
+// The model captures the two scheduling effects the paper's evaluation
+// depends on:
+//
+//   - On an under-committed machine, concurrent GC work runs on idle cores
+//     and is invisible in wall-clock time ("such extra work stays hidden in
+//     an unloaded system", §3.1.1).
+//   - On a saturated machine (the taskset single-core experiment of Fig. 6),
+//     GC work competes with mutators and lands on the critical path.
+package machine
+
+// Model is the machine used to fold cycle ledgers into wall-clock time.
+type Model struct {
+	// Cores is the number of hardware threads available.
+	Cores int
+	// CyclesPerSecond converts cycles to seconds; the paper's laptop runs
+	// at 2.10 GHz.
+	CyclesPerSecond float64
+}
+
+// Laptop models the i7-4600U machine (2 cores / 4 hyper-threads @ 2.1GHz)
+// used for everything except SPECjbb. We use the hyper-thread count since
+// ZGC's GC threads run on sibling threads.
+func Laptop() Model { return Model{Cores: 4, CyclesPerSecond: 2.1e9} }
+
+// SingleCore models the taskset-constrained run of Fig. 6.
+func SingleCore() Model { return Model{Cores: 1, CyclesPerSecond: 2.1e9} }
+
+// Server models the 32-core Opteron used for SPECjbb.
+func Server() Model { return Model{Cores: 32, CyclesPerSecond: 3.0e9} }
+
+// Ledger is the cycle accounting of one benchmark run.
+type Ledger struct {
+	// MutatorCycles holds each mutator thread's own cycles (memory +
+	// bookkeeping + compute, including relocation copies it performed).
+	MutatorCycles []uint64
+	// GCCycles is the total concurrent GC-thread work.
+	GCCycles uint64
+	// PauseCycles is the total stop-the-world work; every mutator is
+	// stopped for its duration.
+	PauseCycles uint64
+}
+
+// ExecCycles folds the ledger through the core model and returns the
+// simulated wall-clock execution time in cycles.
+//
+// With m mutator threads on c cores:
+//
+//	base    = max(mutator cycles) + pauses
+//	idleCap = (c - m) * base            — concurrent capacity left over
+//	spill   = max(0, gc - idleCap)      — GC work that cannot be hidden
+//	time    = base + spill / m
+//
+// When m > c the mutators themselves oversubscribe the machine and
+// everything serialises: time = (sum(mutators) + gc) / c + pauses.
+func (mo Model) ExecCycles(l Ledger) float64 {
+	if len(l.MutatorCycles) == 0 {
+		return float64(l.GCCycles+l.PauseCycles) / float64(maxInt(mo.Cores, 1))
+	}
+	cores := maxInt(mo.Cores, 1)
+	m := len(l.MutatorCycles)
+	var sum, max uint64
+	for _, v := range l.MutatorCycles {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if m > cores {
+		return float64(sum+l.GCCycles)/float64(cores) + float64(l.PauseCycles)
+	}
+	base := float64(max + l.PauseCycles)
+	idleCap := float64(cores-m) * base
+	spill := float64(l.GCCycles) - idleCap
+	if spill < 0 {
+		spill = 0
+	}
+	return base + spill/float64(m)
+}
+
+// ExecSeconds converts ExecCycles to seconds.
+func (mo Model) ExecSeconds(l Ledger) float64 {
+	cps := mo.CyclesPerSecond
+	if cps == 0 {
+		cps = 2.1e9
+	}
+	return mo.ExecCycles(l) / cps
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

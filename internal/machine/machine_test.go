@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGCWorkHiddenOnIdleCores(t *testing.T) {
+	// One mutator on a 4-thread machine: concurrent GC work up to 3x the
+	// mutator time is free.
+	m := Laptop()
+	base := m.ExecCycles(Ledger{MutatorCycles: []uint64{1000}})
+	withGC := m.ExecCycles(Ledger{MutatorCycles: []uint64{1000}, GCCycles: 2500})
+	if withGC != base {
+		t.Fatalf("GC work within idle capacity must be invisible: %v vs %v", withGC, base)
+	}
+}
+
+func TestGCWorkSpillsWhenExcessive(t *testing.T) {
+	m := Laptop() // 4 cores
+	// 1 mutator, idle capacity = 3*1000; gc = 4000 -> spill 1000.
+	got := m.ExecCycles(Ledger{MutatorCycles: []uint64{1000}, GCCycles: 4000})
+	if got != 2000 {
+		t.Fatalf("spill model: got %v, want 2000", got)
+	}
+}
+
+func TestSingleCoreChargesAllGCWork(t *testing.T) {
+	// The Fig. 6 configuration: everything lands on the mutator's core.
+	m := SingleCore()
+	got := m.ExecCycles(Ledger{MutatorCycles: []uint64{1000}, GCCycles: 500, PauseCycles: 100})
+	if got != 1600 {
+		t.Fatalf("single core: got %v, want 1600", got)
+	}
+}
+
+func TestPausesStopAllMutators(t *testing.T) {
+	m := Laptop()
+	a := m.ExecCycles(Ledger{MutatorCycles: []uint64{1000, 900}})
+	b := m.ExecCycles(Ledger{MutatorCycles: []uint64{1000, 900}, PauseCycles: 50})
+	if b != a+50 {
+		t.Fatalf("pauses must extend wall time: %v vs %v", b, a)
+	}
+}
+
+func TestCriticalPathIsSlowestMutator(t *testing.T) {
+	m := Laptop()
+	got := m.ExecCycles(Ledger{MutatorCycles: []uint64{100, 5000, 300}})
+	if got != 5000 {
+		t.Fatalf("wall time = %v, want slowest mutator 5000", got)
+	}
+}
+
+func TestOversubscribedMutators(t *testing.T) {
+	m := Model{Cores: 2, CyclesPerSecond: 1e9}
+	got := m.ExecCycles(Ledger{MutatorCycles: []uint64{1000, 1000, 1000, 1000}, GCCycles: 2000})
+	// (4000 + 2000) / 2 = 3000.
+	if got != 3000 {
+		t.Fatalf("oversubscribed: got %v, want 3000", got)
+	}
+}
+
+func TestEmptyLedger(t *testing.T) {
+	m := Laptop()
+	if got := m.ExecCycles(Ledger{GCCycles: 400}); got != 100 {
+		t.Fatalf("gc-only ledger: got %v, want 100 (spread over 4 cores)", got)
+	}
+}
+
+func TestExecSeconds(t *testing.T) {
+	m := Model{Cores: 1, CyclesPerSecond: 1e9}
+	got := m.ExecSeconds(Ledger{MutatorCycles: []uint64{2e9}})
+	if got != 2 {
+		t.Fatalf("ExecSeconds = %v, want 2", got)
+	}
+	// Zero CyclesPerSecond falls back to the laptop clock.
+	m2 := Model{Cores: 1}
+	if got := m2.ExecSeconds(Ledger{MutatorCycles: []uint64{uint64(2.1e9)}}); got != 1 {
+		t.Fatalf("default clock: got %v, want 1", got)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if Laptop().Cores != 4 || SingleCore().Cores != 1 || Server().Cores != 32 {
+		t.Fatal("preset core counts wrong")
+	}
+}
+
+func TestPropertyMoreGCNeverFaster(t *testing.T) {
+	m := Laptop()
+	f := func(mut uint32, gc1, gc2 uint32) bool {
+		l1 := Ledger{MutatorCycles: []uint64{uint64(mut)}, GCCycles: uint64(gc1)}
+		l2 := Ledger{MutatorCycles: []uint64{uint64(mut)}, GCCycles: uint64(gc1) + uint64(gc2)}
+		return m.ExecCycles(l2) >= m.ExecCycles(l1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoreCoresNeverSlower(t *testing.T) {
+	f := func(mut, gc uint32, cores uint8) bool {
+		c := int(cores%16) + 1
+		l := Ledger{MutatorCycles: []uint64{uint64(mut)}, GCCycles: uint64(gc)}
+		a := Model{Cores: c, CyclesPerSecond: 1e9}.ExecCycles(l)
+		b := Model{Cores: c + 1, CyclesPerSecond: 1e9}.ExecCycles(l)
+		return b <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

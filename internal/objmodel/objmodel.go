@@ -1,0 +1,177 @@
+// Package objmodel defines the object layout used on the simulated heap:
+// a one-word header (size and type id) followed by word-sized fields, and a
+// registry of types describing which fields hold references. The collector
+// uses the registry to trace the object graph; workloads use it to define
+// their data structures.
+package objmodel
+
+import (
+	"fmt"
+
+	"hcsgc/internal/heap"
+)
+
+// Header layout: bits 0..23 size in words (including the header word),
+// bits 24..39 type id. This supports objects up to 128 MB and 65 536
+// types, far beyond what any benchmark needs.
+const (
+	sizeBits  = 24
+	sizeMask  = (1 << sizeBits) - 1
+	typeShift = sizeBits
+	typeMask  = 0xffff
+)
+
+// HeaderWords is the number of words of per-object metadata.
+const HeaderWords = 1
+
+// EncodeHeader packs an object's total size (in words, including the
+// header) and its type id into a header word.
+func EncodeHeader(sizeWords int, typeID uint16) uint64 {
+	if sizeWords <= 0 || sizeWords > sizeMask {
+		panic(fmt.Sprintf("objmodel: invalid object size %d words", sizeWords))
+	}
+	return uint64(sizeWords) | uint64(typeID)<<typeShift
+}
+
+// DecodeHeader unpacks a header word.
+func DecodeHeader(h uint64) (sizeWords int, typeID uint16) {
+	return int(h & sizeMask), uint16(h >> typeShift & typeMask)
+}
+
+// SizeBytes returns the object's total byte size from its header word.
+func SizeBytes(h uint64) uint64 {
+	return uint64(h&sizeMask) * heap.WordSize
+}
+
+// Kind distinguishes layout families.
+type Kind uint8
+
+// The layout kinds.
+const (
+	// KindFixed objects have a fixed field count with a static ref map.
+	KindFixed Kind = iota
+	// KindRefArray objects are arrays where every element is a reference.
+	KindRefArray
+	// KindWordArray objects are arrays of plain data words (no refs).
+	KindWordArray
+)
+
+// Type describes one object layout.
+type Type struct {
+	ID   uint16
+	Name string
+	Kind Kind
+	// NumFields is the field count for fixed types (arrays vary per
+	// instance).
+	NumFields int
+	// RefFields lists the field indices holding references (fixed kinds).
+	RefFields []int
+}
+
+// SizeWords returns the allocation size for a fixed type.
+func (t *Type) SizeWords() int {
+	if t.Kind != KindFixed {
+		panic("objmodel: SizeWords on array type")
+	}
+	return HeaderWords + t.NumFields
+}
+
+// FieldOffsetWords returns the word offset of field i from the object
+// start.
+func FieldOffsetWords(i int) uint64 { return uint64(HeaderWords + i) }
+
+// FieldAddr returns the simulated address of field i of the object at
+// addr.
+func FieldAddr(addr uint64, i int) uint64 {
+	return addr + FieldOffsetWords(i)*heap.WordSize
+}
+
+// Registry maps type ids to layouts. It is immutable after setup
+// (register all types before starting mutators), so lookups are lock-free.
+type Registry struct {
+	types []*Type
+}
+
+// Builtin type ids for arrays, registered by NewRegistry.
+const (
+	RefArrayTypeID  uint16 = 0
+	WordArrayTypeID uint16 = 1
+)
+
+// NewRegistry creates a registry preloaded with the builtin array types.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.register(&Type{Name: "[]ref", Kind: KindRefArray})
+	r.register(&Type{Name: "[]word", Kind: KindWordArray})
+	return r
+}
+
+func (r *Registry) register(t *Type) *Type {
+	if len(r.types) > typeMask {
+		panic("objmodel: type id space exhausted")
+	}
+	t.ID = uint16(len(r.types))
+	r.types = append(r.types, t)
+	return t
+}
+
+// Register adds a fixed-layout type with the given field count and ref
+// field indices. Panics on invalid layouts (setup-time programming error).
+func (r *Registry) Register(name string, numFields int, refFields []int) *Type {
+	if numFields < 0 {
+		panic(fmt.Sprintf("objmodel: type %q: negative field count", name))
+	}
+	for _, f := range refFields {
+		if f < 0 || f >= numFields {
+			panic(fmt.Sprintf("objmodel: type %q: ref field %d out of range [0,%d)", name, f, numFields))
+		}
+	}
+	refs := make([]int, len(refFields))
+	copy(refs, refFields)
+	return r.register(&Type{Name: name, Kind: KindFixed, NumFields: numFields, RefFields: refs})
+}
+
+// Lookup returns the type for an id; panics on unknown ids (heap
+// corruption, not a recoverable condition).
+func (r *Registry) Lookup(id uint16) *Type {
+	if int(id) >= len(r.types) {
+		panic(fmt.Sprintf("objmodel: unknown type id %d", id))
+	}
+	return r.types[id]
+}
+
+// NumTypes returns the number of registered types.
+func (r *Registry) NumTypes() int { return len(r.types) }
+
+// RefFieldIndices calls fn with each field index of the object that holds
+// a reference, given its type and total size in words. This is the tracing
+// loop's ref map.
+func RefFieldIndices(t *Type, sizeWords int, fn func(field int)) {
+	switch t.Kind {
+	case KindFixed:
+		for _, f := range t.RefFields {
+			fn(f)
+		}
+	case KindRefArray:
+		for i := 0; i < sizeWords-HeaderWords; i++ {
+			fn(i)
+		}
+	case KindWordArray:
+		// no refs
+	}
+}
+
+// ArrayLen returns the element count of an array object from its header.
+func ArrayLen(header uint64) int {
+	size, _ := DecodeHeader(header)
+	return size - HeaderWords
+}
+
+// ArraySizeWords returns the allocation size in words for an array of n
+// elements.
+func ArraySizeWords(n int) int {
+	if n < 0 {
+		panic("objmodel: negative array length")
+	}
+	return HeaderWords + n
+}

@@ -1,0 +1,197 @@
+package objmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hcsgc/internal/heap"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []struct {
+		size int
+		id   uint16
+	}{
+		{1, 0}, {2, 1}, {5, 42}, {1 << 20, 65535}, {sizeMask, 7},
+	}
+	for _, tc := range cases {
+		h := EncodeHeader(tc.size, tc.id)
+		size, id := DecodeHeader(h)
+		if size != tc.size || id != tc.id {
+			t.Errorf("roundtrip (%d,%d) -> (%d,%d)", tc.size, tc.id, size, id)
+		}
+		if SizeBytes(h) != uint64(tc.size)*heap.WordSize {
+			t.Errorf("SizeBytes wrong for size %d", tc.size)
+		}
+	}
+}
+
+func TestEncodeHeaderPanicsOnBadSize(t *testing.T) {
+	for _, size := range []int{0, -1, sizeMask + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EncodeHeader(%d, 0) did not panic", size)
+				}
+			}()
+			EncodeHeader(size, 0)
+		}()
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(size uint32, id uint16) bool {
+		s := int(size%sizeMask) + 1
+		h := EncodeHeader(s, id)
+		gs, gid := DecodeHeader(h)
+		return gs == s && gid == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	r := NewRegistry()
+	if r.NumTypes() != 2 {
+		t.Fatalf("NumTypes = %d, want 2 builtins", r.NumTypes())
+	}
+	ra := r.Lookup(RefArrayTypeID)
+	if ra.Kind != KindRefArray || ra.Name != "[]ref" {
+		t.Fatalf("ref array type wrong: %+v", ra)
+	}
+	wa := r.Lookup(WordArrayTypeID)
+	if wa.Kind != KindWordArray {
+		t.Fatalf("word array type wrong: %+v", wa)
+	}
+}
+
+func TestRegisterFixedType(t *testing.T) {
+	r := NewRegistry()
+	node := r.Register("node", 3, []int{0, 2})
+	if node.ID != 2 {
+		t.Fatalf("first user type id = %d, want 2", node.ID)
+	}
+	if node.SizeWords() != 4 {
+		t.Fatalf("SizeWords = %d, want 4 (header + 3 fields)", node.SizeWords())
+	}
+	if got := r.Lookup(node.ID); got != node {
+		t.Fatal("Lookup must return the registered type")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, tc := range []struct {
+		name      string
+		numFields int
+		refs      []int
+	}{
+		{"neg fields", -1, nil},
+		{"ref oob", 2, []int{2}},
+		{"ref negative", 2, []int{-1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Register did not panic", tc.name)
+				}
+			}()
+			r.Register(tc.name, tc.numFields, tc.refs)
+		}()
+	}
+}
+
+func TestRegisterCopiesRefSlice(t *testing.T) {
+	r := NewRegistry()
+	refs := []int{0}
+	typ := r.Register("x", 2, refs)
+	refs[0] = 1
+	if typ.RefFields[0] != 0 {
+		t.Fatal("Register must copy the ref field slice")
+	}
+}
+
+func TestLookupUnknownPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lookup of unknown id must panic")
+		}
+	}()
+	r.Lookup(999)
+}
+
+func TestFieldAddressing(t *testing.T) {
+	base := uint64(0x200000)
+	if FieldAddr(base, 0) != base+8 {
+		t.Fatal("field 0 follows the header word")
+	}
+	if FieldAddr(base, 3) != base+32 {
+		t.Fatal("field 3 at header+3 words")
+	}
+	if FieldOffsetWords(0) != 1 {
+		t.Fatal("FieldOffsetWords(0) must be 1")
+	}
+}
+
+func TestRefFieldIndicesFixed(t *testing.T) {
+	r := NewRegistry()
+	typ := r.Register("pair", 4, []int{1, 3})
+	var got []int
+	RefFieldIndices(typ, typ.SizeWords(), func(f int) { got = append(got, f) })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("ref fields = %v, want [1 3]", got)
+	}
+}
+
+func TestRefFieldIndicesRefArray(t *testing.T) {
+	r := NewRegistry()
+	typ := r.Lookup(RefArrayTypeID)
+	var got []int
+	RefFieldIndices(typ, ArraySizeWords(5), func(f int) { got = append(got, f) })
+	if len(got) != 5 {
+		t.Fatalf("ref array of 5 should yield 5 ref fields, got %v", got)
+	}
+	for i, f := range got {
+		if f != i {
+			t.Fatalf("ref fields = %v, want 0..4", got)
+		}
+	}
+}
+
+func TestRefFieldIndicesWordArray(t *testing.T) {
+	r := NewRegistry()
+	typ := r.Lookup(WordArrayTypeID)
+	count := 0
+	RefFieldIndices(typ, ArraySizeWords(10), func(int) { count++ })
+	if count != 0 {
+		t.Fatalf("word array yielded %d ref fields, want 0", count)
+	}
+}
+
+func TestArrayHelpers(t *testing.T) {
+	h := EncodeHeader(ArraySizeWords(7), uint16(RefArrayTypeID))
+	if ArrayLen(h) != 7 {
+		t.Fatalf("ArrayLen = %d, want 7", ArrayLen(h))
+	}
+	if ArraySizeWords(0) != HeaderWords {
+		t.Fatal("empty array is just a header")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative array length must panic")
+		}
+	}()
+	ArraySizeWords(-1)
+}
+
+func TestSizeWordsPanicsOnArrayType(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SizeWords on array type must panic")
+		}
+	}()
+	r.Lookup(RefArrayTypeID).SizeWords()
+}

@@ -1,0 +1,195 @@
+// Package simmem implements a software model of a memory hierarchy:
+// set-associative caches with LRU replacement, a stream prefetcher, and a
+// cycle cost model. It substitutes for the hardware performance counters
+// (perf: L1-dcache-loads, L1-dcache-load-misses, LLC-load-misses) used in
+// the paper's evaluation. Addresses fed to the model are the simulated
+// heap addresses produced by internal/heap, so object layout decisions made
+// by the collector directly determine hit rates here.
+package simmem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// LineSize is the cache line size in bytes. The paper assumes the common
+// 64-byte line (§3.4).
+const LineSize = 64
+
+// lineShift is log2(LineSize).
+const lineShift = 6
+
+// Cache is a single level of set-associative cache with LRU replacement.
+// It is not safe for concurrent use; concurrency is handled by the owning
+// Hierarchy (private L1/L2 per core, lock around the shared LLC).
+type Cache struct {
+	name    string
+	sets    uint64 // number of sets, power of two
+	ways    int
+	setMask uint64
+	tags    []uint64 // sets*ways entries; 0 = invalid
+	lru     []uint32 // per-line LRU ticket
+	tick    uint32
+	// Counters are atomic so aggregate statistics can be snapshotted
+	// while the owning goroutine keeps simulating.
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	prefills atomic.Uint64 // lines installed by prefetch rather than demand
+}
+
+// CacheConfig describes a cache level.
+type CacheConfig struct {
+	Name string
+	Size int // total bytes
+	Ways int
+}
+
+// NewCache builds a cache from a config. Size must be a multiple of
+// Ways*LineSize and the resulting set count must be a power of two.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("simmem: cache %q: ways must be positive, got %d", cfg.Name, cfg.Ways)
+	}
+	if cfg.Size <= 0 || cfg.Size%(cfg.Ways*LineSize) != 0 {
+		return nil, fmt.Errorf("simmem: cache %q: size %d not a multiple of ways*linesize (%d)", cfg.Name, cfg.Size, cfg.Ways*LineSize)
+	}
+	sets := uint64(cfg.Size / (cfg.Ways * LineSize))
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("simmem: cache %q: set count %d is not a power of two", cfg.Name, sets)
+	}
+	return &Cache{
+		name:    cfg.Name,
+		sets:    sets,
+		ways:    cfg.Ways,
+		setMask: sets - 1,
+		tags:    make([]uint64, sets*uint64(cfg.Ways)),
+		lru:     make([]uint32, sets*uint64(cfg.Ways)),
+	}, nil
+}
+
+// MustNewCache is NewCache but panics on configuration error. Intended for
+// package-level defaults that are statically known to be valid.
+func MustNewCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// line converts a byte address to a line address (tag material).
+// Line addresses are offset by 1 so that tag 0 always means "invalid".
+func line(addr uint64) uint64 { return (addr >> lineShift) + 1 }
+
+// setOf returns the set index for a line address.
+func (c *Cache) setOf(ln uint64) uint64 { return (ln - 1) & c.setMask }
+
+// Access looks up addr, returns true on hit. On miss the line is installed,
+// evicting the LRU way of its set.
+func (c *Cache) Access(addr uint64) bool {
+	hit := c.touch(line(addr), false)
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return hit
+}
+
+// Hits returns the demand hit count.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the demand miss count.
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// Prefills returns the count of lines installed by prefetching.
+func (c *Cache) Prefills() uint64 { return c.prefills.Load() }
+
+// Contains reports whether addr's line is present without altering LRU
+// state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	ln := line(addr)
+	base := c.setOf(ln) * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == ln {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefetch installs addr's line if absent, without counting a demand hit or
+// miss. Returns true if the line was newly installed.
+func (c *Cache) Prefetch(addr uint64) bool {
+	installed := !c.touch(line(addr), true)
+	if installed {
+		c.prefills.Add(1)
+	}
+	return installed
+}
+
+// touch looks up ln; installs it on absence. Returns true if present.
+// When prefetch is true and the line is already present, LRU is still
+// refreshed (prefetchers re-prime lines).
+func (c *Cache) touch(ln uint64, prefetch bool) bool {
+	base := c.setOf(ln) * uint64(c.ways)
+	c.tick++
+	victim := base
+	victimLRU := c.lru[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.tags[i] == ln {
+			c.lru[i] = c.tick
+			return true
+		}
+		if c.tags[i] == 0 {
+			// Free way: install immediately.
+			c.tags[i] = ln
+			c.lru[i] = c.tick
+			return false
+		}
+		if c.lru[i] < victimLRU {
+			victim, victimLRU = i, c.lru[i]
+		}
+	}
+	c.tags[victim] = ln
+	c.lru[victim] = c.tick
+	return false
+}
+
+// Invalidate removes addr's line if present. Used when simulated pages are
+// recycled so stale lines do not alias new allocations.
+func (c *Cache) Invalidate(addr uint64) {
+	ln := line(addr)
+	base := c.setOf(ln) * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == ln {
+			c.tags[base+uint64(w)] = 0
+			return
+		}
+	}
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.tick = 0
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.prefills.Store(0)
+}
+
+// Name returns the configured display name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the total capacity in bytes.
+func (c *Cache) SizeBytes() int { return int(c.sets) * c.ways * LineSize }

@@ -1,0 +1,313 @@
+package simmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Latencies gives the access cost, in CPU cycles, of a hit at each level of
+// the hierarchy. The defaults approximate the paper's i7-4600U (Haswell):
+// L1 4 cycles, L2 12, LLC ~40, DRAM ~200. The paper's own argument in §4.4
+// ("access latency of LLC is roughly 10x of that of L1") is consistent with
+// this model.
+type Latencies struct {
+	L1  uint64
+	L2  uint64
+	LLC uint64
+	Mem uint64
+}
+
+// DefaultLatencies matches the i7-4600U description in §4.
+func DefaultLatencies() Latencies {
+	return Latencies{L1: 4, L2: 12, LLC: 40, Mem: 200}
+}
+
+// HierarchyConfig describes the simulated memory system.
+type HierarchyConfig struct {
+	L1  CacheConfig
+	L2  CacheConfig
+	LLC CacheConfig
+	Lat Latencies
+	// PrefetchDepth is how many lines ahead the per-core stream prefetcher
+	// runs; 0 disables prefetching.
+	PrefetchDepth int
+}
+
+// DefaultConfig models the laptop used for all benchmarks except SPECjbb:
+// 32KB L1d (8-way), 256KB L2 (8-way), 4MB shared LLC (16-way).
+func DefaultConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1:            CacheConfig{Name: "L1d", Size: 32 << 10, Ways: 8},
+		L2:            CacheConfig{Name: "L2", Size: 256 << 10, Ways: 8},
+		LLC:           CacheConfig{Name: "LLC", Size: 4 << 20, Ways: 16},
+		Lat:           DefaultLatencies(),
+		PrefetchDepth: 4,
+	}
+}
+
+// ServerConfig models the AMD Opteron 6276 used for SPECjbb: 16KB L1d,
+// 2MB L2. The paper's machine has a 6MB LLC; the model requires a
+// power-of-two set count, so we use 6MB with 24 ways (256 sets), keeping
+// capacity exact.
+func ServerConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1:            CacheConfig{Name: "L1d", Size: 16 << 10, Ways: 4},
+		L2:            CacheConfig{Name: "L2", Size: 2 << 20, Ways: 16},
+		LLC:           CacheConfig{Name: "LLC", Size: 6 << 20, Ways: 24},
+		Lat:           DefaultLatencies(),
+		PrefetchDepth: 4,
+	}
+}
+
+// Core is the private part of the hierarchy belonging to one hardware
+// thread: L1, L2 and the stream prefetcher. Each mutator or GC worker owns
+// one Core. Core methods are not safe for concurrent use by multiple
+// goroutines; each goroutine must own its Core exclusively.
+type Core struct {
+	l1  *Cache
+	l2  *Cache
+	pf  *Prefetcher
+	sys *Hierarchy
+	lat Latencies
+	// Counters are atomic so that Hierarchy.Stats can snapshot them while
+	// the owning goroutine keeps simulating.
+	loads  atomic.Uint64
+	stores atomic.Uint64
+	cycles atomic.Uint64
+}
+
+// Hierarchy is the whole memory system: a shared LLC plus per-core private
+// levels. The LLC is protected by a mutex; private levels are lock-free by
+// ownership.
+type Hierarchy struct {
+	cfg   HierarchyConfig
+	llcMu sync.Mutex
+	llc   *Cache
+
+	coresMu sync.Mutex
+	cores   []*Core
+}
+
+// NewHierarchy validates cfg and builds the shared levels.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	llc, err := NewCache(cfg.LLC)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Lat == (Latencies{}) {
+		cfg.Lat = DefaultLatencies()
+	}
+	return &Hierarchy{cfg: cfg, llc: llc}, nil
+}
+
+// MustNewHierarchy is NewHierarchy but panics on error.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NewCore allocates a private L1/L2/prefetcher bound to this hierarchy.
+func (h *Hierarchy) NewCore() *Core {
+	c := &Core{
+		l1:  MustNewCache(h.cfg.L1),
+		l2:  MustNewCache(h.cfg.L2),
+		pf:  NewPrefetcher(h.cfg.PrefetchDepth),
+		sys: h,
+		lat: h.cfg.Lat,
+	}
+	h.coresMu.Lock()
+	h.cores = append(h.cores, c)
+	h.coresMu.Unlock()
+	return c
+}
+
+// Load simulates a demand load of the given byte range [addr, addr+size)
+// and returns its cost in cycles. Ranges crossing line boundaries touch
+// each line once.
+func (c *Core) Load(addr uint64, size int) uint64 {
+	return c.access(addr, size, false)
+}
+
+// Store simulates a demand store. The model is write-allocate,
+// write-back, so the cost model is the same as a load.
+func (c *Core) Store(addr uint64, size int) uint64 {
+	return c.access(addr, size, true)
+}
+
+func (c *Core) access(addr uint64, size int, store bool) uint64 {
+	if size <= 0 {
+		size = 1
+	}
+	var total uint64
+	first := addr &^ uint64(LineSize-1)
+	last := (addr + uint64(size) - 1) &^ uint64(LineSize-1)
+	for a := first; ; a += LineSize {
+		total += c.accessLine(a, store)
+		if a >= last {
+			break
+		}
+	}
+	c.cycles.Add(total)
+	return total
+}
+
+// Loads returns the demand load count.
+func (c *Core) Loads() uint64 { return c.loads.Load() }
+
+// Stores returns the demand store count.
+func (c *Core) Stores() uint64 { return c.stores.Load() }
+
+// Cycles returns the accumulated memory-access cost in cycles.
+func (c *Core) Cycles() uint64 { return c.cycles.Load() }
+
+// accessLine performs the lookup cascade L1 -> L2 -> LLC -> memory for one
+// line and returns the cycle cost.
+func (c *Core) accessLine(addr uint64, store bool) uint64 {
+	if store {
+		c.stores.Add(1)
+	} else {
+		c.loads.Add(1)
+	}
+	if c.l1.Access(addr) {
+		return c.lat.L1
+	}
+	// L1 miss: consult the prefetcher on the demand-miss stream.
+	c.firePrefetch(addr)
+	if c.l2.Access(addr) {
+		return c.lat.L2
+	}
+	c.sys.llcMu.Lock()
+	hit := c.sys.llc.Access(addr)
+	c.sys.llcMu.Unlock()
+	if hit {
+		return c.lat.LLC
+	}
+	return c.lat.Mem
+}
+
+// firePrefetch asks the stream detector for prefetch targets and installs
+// them into L2 and the LLC (hardware prefetchers typically fill L2/LLC, and
+// our L1 refill path then finds them there at L2 cost).
+func (c *Core) firePrefetch(addr uint64) {
+	targets := c.pf.OnMiss(addr)
+	if len(targets) == 0 {
+		return
+	}
+	for _, t := range targets {
+		c.l2.Prefetch(t)
+	}
+	c.sys.llcMu.Lock()
+	for _, t := range targets {
+		c.sys.llc.Prefetch(t)
+	}
+	c.sys.llcMu.Unlock()
+}
+
+// InvalidateRange drops all lines of [addr, addr+size) from this core's
+// private caches. The owning runtime calls it (plus Hierarchy.
+// InvalidateRangeLLC) when a simulated page is recycled.
+func (c *Core) InvalidateRange(addr uint64, size int) {
+	first := addr &^ uint64(LineSize-1)
+	for a := first; a < addr+uint64(size); a += LineSize {
+		c.l1.Invalidate(a)
+		c.l2.Invalidate(a)
+	}
+}
+
+// Stats returns a snapshot of this core's counters. Safe to call from any
+// goroutine; the snapshot is not atomic across counters.
+func (c *Core) Stats() CoreStats {
+	return CoreStats{
+		Loads:      c.loads.Load(),
+		Stores:     c.stores.Load(),
+		L1Misses:   c.l1.Misses(),
+		L2Misses:   c.l2.Misses(),
+		Cycles:     c.cycles.Load(),
+		PrefIssued: c.pf.Issued(),
+		L1Prefills: c.l1.Prefills(),
+		L2Prefills: c.l2.Prefills(),
+	}
+}
+
+// Reset clears the private levels and counters (not the shared LLC).
+func (c *Core) Reset() {
+	c.l1.Reset()
+	c.l2.Reset()
+	c.pf.Reset()
+	c.loads.Store(0)
+	c.stores.Store(0)
+	c.cycles.Store(0)
+}
+
+// CoreStats is a snapshot of one core's activity.
+type CoreStats struct {
+	Loads      uint64
+	Stores     uint64
+	L1Misses   uint64
+	L2Misses   uint64
+	Cycles     uint64
+	PrefIssued uint64
+	L1Prefills uint64
+	L2Prefills uint64
+}
+
+// Add accumulates other into s.
+func (s *CoreStats) Add(other CoreStats) {
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.L1Misses += other.L1Misses
+	s.L2Misses += other.L2Misses
+	s.Cycles += other.Cycles
+	s.PrefIssued += other.PrefIssued
+	s.L1Prefills += other.L1Prefills
+	s.L2Prefills += other.L2Prefills
+}
+
+// SystemStats aggregates process-wide counters in the way perf does for the
+// paper (whole-process, mutators and GC threads indistinguishable).
+type SystemStats struct {
+	CoreStats
+	LLCMisses uint64
+	LLCHits   uint64
+}
+
+// Stats sums all cores plus shared-LLC counters.
+func (h *Hierarchy) Stats() SystemStats {
+	var out SystemStats
+	h.coresMu.Lock()
+	cores := make([]*Core, len(h.cores))
+	copy(cores, h.cores)
+	h.coresMu.Unlock()
+	for _, c := range cores {
+		out.CoreStats.Add(c.Stats())
+	}
+	out.LLCMisses = h.llc.Misses()
+	out.LLCHits = h.llc.Hits()
+	return out
+}
+
+// InvalidateRangeLLC drops lines of a recycled page from the shared LLC.
+func (h *Hierarchy) InvalidateRangeLLC(addr uint64, size int) {
+	first := addr &^ uint64(LineSize-1)
+	h.llcMu.Lock()
+	for a := first; a < addr+uint64(size); a += LineSize {
+		h.llc.Invalidate(a)
+	}
+	h.llcMu.Unlock()
+}
+
+// Config returns the configuration the hierarchy was built with.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// String summarises the geometry, e.g. for report headers.
+func (h *Hierarchy) String() string {
+	return fmt.Sprintf("L1 %dKB/%dw, L2 %dKB/%dw, LLC %dMB/%dw, prefetch depth %d",
+		h.cfg.L1.Size>>10, h.cfg.L1.Ways,
+		h.cfg.L2.Size>>10, h.cfg.L2.Ways,
+		h.cfg.LLC.Size>>20, h.cfg.LLC.Ways,
+		h.cfg.PrefetchDepth)
+}

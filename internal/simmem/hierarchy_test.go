@@ -1,0 +1,261 @@
+package simmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func smallConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1:            CacheConfig{Name: "L1", Size: 4 << 10, Ways: 4},
+		L2:            CacheConfig{Name: "L2", Size: 32 << 10, Ways: 8},
+		LLC:           CacheConfig{Name: "LLC", Size: 256 << 10, Ways: 8},
+		Lat:           Latencies{L1: 4, L2: 12, LLC: 40, Mem: 200},
+		PrefetchDepth: 0,
+	}
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	bad := smallConfig()
+	bad.LLC.Size = 7
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Fatal("invalid LLC config should fail")
+	}
+	if _, err := NewHierarchy(smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConfigsValid(t *testing.T) {
+	for _, cfg := range []HierarchyConfig{DefaultConfig(), ServerConfig()} {
+		if _, err := NewHierarchy(cfg); err != nil {
+			t.Errorf("config %v invalid: %v", cfg, err)
+		}
+	}
+}
+
+func TestMissCostCascade(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	c := h.NewCore()
+	// Cold access: miss everywhere -> memory latency.
+	if got := c.Load(0x100000, 8); got != 200 {
+		t.Fatalf("cold load cost = %d, want 200", got)
+	}
+	// Now resident in L1.
+	if got := c.Load(0x100000, 8); got != 4 {
+		t.Fatalf("warm L1 load cost = %d, want 4", got)
+	}
+}
+
+func TestL2AndLLCHitCosts(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	c := h.NewCore()
+	target := uint64(0)
+	c.Load(target, 1) // install everywhere
+	// Evict from L1 only: walk addresses that map to target's L1 set.
+	// L1: 4KB/4w = 16 sets; same set every 16 lines (1024 bytes).
+	for i := uint64(1); i <= 8; i++ {
+		c.Load(target+i*1024, 1)
+	}
+	got := c.Load(target, 1)
+	if got != 12 && got != 40 {
+		t.Fatalf("after L1 eviction, cost = %d, want L2 (12) or LLC (40)", got)
+	}
+}
+
+func TestStoreCountsSeparately(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	c := h.NewCore()
+	c.Store(0x2000, 8)
+	c.Load(0x2000, 8)
+	st := c.Stats()
+	if st.Stores != 1 || st.Loads != 1 {
+		t.Fatalf("loads=%d stores=%d, want 1/1", st.Loads, st.Stores)
+	}
+}
+
+func TestMultiLineAccess(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	c := h.NewCore()
+	// 16-byte access straddling a line boundary touches 2 lines.
+	c.Load(64-8, 16)
+	if st := c.Stats(); st.Loads != 2 {
+		t.Fatalf("straddling load touched %d lines, want 2", st.Loads)
+	}
+	// Large access: 256 bytes = 4 lines.
+	c2 := h.NewCore()
+	c2.Load(0, 256)
+	if st := c2.Stats(); st.Loads != 4 {
+		t.Fatalf("256B load touched %d lines, want 4", st.Loads)
+	}
+}
+
+func TestZeroSizeAccessTreatedAsOneByte(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	c := h.NewCore()
+	c.Load(0x100, 0)
+	if st := c.Stats(); st.Loads != 1 {
+		t.Fatalf("zero-size load should touch one line, got %d", st.Loads)
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	c := h.NewCore()
+	c.Load(0x0, 8)   // 200
+	c.Load(0x0, 8)   // 4
+	c.Store(0x40, 8) // 200
+	if c.Cycles() != 404 {
+		t.Fatalf("cycles = %d, want 404", c.Cycles())
+	}
+}
+
+func TestSequentialBeatsRandomWithPrefetch(t *testing.T) {
+	// The central fidelity property for the paper: a sequential scan over a
+	// large buffer must be much cheaper than a random scan of the same
+	// addresses when the stream prefetcher is on.
+	cfg := smallConfig()
+	cfg.PrefetchDepth = 4
+	n := 4096 // lines; 256KB, same as LLC, far over L1/L2
+
+	seqCycles := func(order []int) uint64 {
+		h := MustNewHierarchy(cfg)
+		c := h.NewCore()
+		for _, i := range order {
+			c.Load(uint64(i)*64, 8)
+		}
+		return c.Cycles()
+	}
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	rnd := make([]int, n)
+	copy(rnd, seq)
+	rand.New(rand.NewSource(3)).Shuffle(n, func(i, j int) { rnd[i], rnd[j] = rnd[j], rnd[i] })
+
+	sc, rc := seqCycles(seq), seqCycles(rnd)
+	if sc*2 >= rc {
+		t.Fatalf("sequential (%d cycles) should be <half of random (%d cycles)", sc, rc)
+	}
+}
+
+func TestPrefetchDepthZeroNoAdvantage(t *testing.T) {
+	// Without prefetching, cold sequential and cold random scans over a
+	// range far exceeding cache capacity cost roughly the same.
+	cfg := smallConfig()
+	cfg.PrefetchDepth = 0
+	n := 8192
+	run := func(shuffle bool) uint64 {
+		h := MustNewHierarchy(cfg)
+		c := h.NewCore()
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		if shuffle {
+			rand.New(rand.NewSource(5)).Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		for _, i := range order {
+			c.Load(uint64(i)*64, 8)
+		}
+		return c.Cycles()
+	}
+	s, r := run(false), run(true)
+	ratio := float64(s) / float64(r)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("without prefetch seq/random ratio = %.2f, want ~1.0", ratio)
+	}
+}
+
+func TestSharedLLCVisibleAcrossCores(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	a, b := h.NewCore(), h.NewCore()
+	a.Load(0x7000, 8) // installs into shared LLC
+	cost := b.Load(0x7000, 8)
+	if cost != 40 {
+		t.Fatalf("cross-core LLC hit cost = %d, want 40", cost)
+	}
+}
+
+func TestConcurrentCoreAccessSafe(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		core := h.NewCore()
+		wg.Add(1)
+		go func(c *Core, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10000; i++ {
+				// 8-byte aligned so no access straddles a line.
+				c.Load((rng.Uint64()%(1<<22))&^7, 8)
+			}
+		}(core, int64(g))
+	}
+	wg.Wait()
+	st := h.Stats()
+	if st.Loads != 40000 {
+		t.Fatalf("aggregate loads = %d, want 40000", st.Loads)
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	c := h.NewCore()
+	for a := uint64(0); a < 1024; a += 64 {
+		c.Load(a, 8)
+	}
+	c.InvalidateRange(0, 1024)
+	h.InvalidateRangeLLC(0, 1024)
+	before := c.Stats().L1Misses
+	c.Load(0, 8)
+	if c.Stats().L1Misses != before+1 {
+		t.Fatal("invalidated line should miss in L1")
+	}
+}
+
+func TestCoreReset(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	c := h.NewCore()
+	c.Load(0x123, 8)
+	c.Reset()
+	st := c.Stats()
+	if st.Loads != 0 || st.Cycles != 0 || st.L1Misses != 0 {
+		t.Fatalf("Reset left stats %+v", st)
+	}
+}
+
+func TestSystemStatsAggregation(t *testing.T) {
+	h := MustNewHierarchy(smallConfig())
+	a, b := h.NewCore(), h.NewCore()
+	a.Load(0x1000, 8)
+	b.Load(0x2000, 8)
+	b.Store(0x3000, 8)
+	st := h.Stats()
+	if st.Loads != 2 || st.Stores != 1 {
+		t.Fatalf("aggregate loads=%d stores=%d, want 2/1", st.Loads, st.Stores)
+	}
+	if st.LLCMisses != 3 {
+		t.Fatalf("LLC misses = %d, want 3 (all cold)", st.LLCMisses)
+	}
+}
+
+func TestHierarchyString(t *testing.T) {
+	h := MustNewHierarchy(DefaultConfig())
+	s := h.String()
+	if s == "" {
+		t.Fatal("String should describe geometry")
+	}
+}
+
+func TestLatenciesDefaultApplied(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Lat = Latencies{}
+	h := MustNewHierarchy(cfg)
+	c := h.NewCore()
+	if got := c.Load(0x0, 8); got != DefaultLatencies().Mem {
+		t.Fatalf("default latency not applied: cold load cost %d", got)
+	}
+}

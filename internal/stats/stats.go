@@ -1,0 +1,166 @@
+// Package stats implements the statistical machinery of the paper's §4.2:
+// box-plot summaries (quartiles, IQR, mild/extreme outliers, whiskers) and
+// bootstrap mean estimates with 95% confidence intervals (10,000 resamples
+// with replacement), plus normalisation against a baseline configuration.
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// BoxPlot is the five-number summary plus outlier classification used for
+// the execution-time plots.
+type BoxPlot struct {
+	Q1, Median, Q3 float64
+	IQR            float64
+	// WhiskerLow/High are the furthest points from the median that are not
+	// outliers.
+	WhiskerLow, WhiskerHigh float64
+	// Mild outliers fall outside [Q1-1.5*IQR, Q3+1.5*IQR]; extreme outside
+	// [Q1-3*IQR, Q3+3*IQR].
+	Mild, Extreme []float64
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of sorted data using
+// linear interpolation between order statistics (type 7, the common
+// default).
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// NewBoxPlot computes the box-plot summary of a sample.
+func NewBoxPlot(sample []float64) BoxPlot {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	b := BoxPlot{
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+	}
+	b.IQR = b.Q3 - b.Q1
+	mildLo, mildHi := b.Q1-1.5*b.IQR, b.Q3+1.5*b.IQR
+	extLo, extHi := b.Q1-3*b.IQR, b.Q3+3*b.IQR
+	b.WhiskerLow, b.WhiskerHigh = b.Median, b.Median
+	first := true
+	for _, v := range s {
+		switch {
+		case v < extLo || v > extHi:
+			b.Extreme = append(b.Extreme, v)
+		case v < mildLo || v > mildHi:
+			b.Mild = append(b.Mild, v)
+		default:
+			if first {
+				b.WhiskerLow, b.WhiskerHigh = v, v
+				first = false
+			} else {
+				if v < b.WhiskerLow {
+					b.WhiskerLow = v
+				}
+				if v > b.WhiskerHigh {
+					b.WhiskerHigh = v
+				}
+			}
+		}
+	}
+	return b
+}
+
+// Bootstrap is a mean estimate with its 95% confidence interval.
+type Bootstrap struct {
+	Mean     float64
+	CILow    float64 // 2.5 percentile of bootstrap means
+	CIHigh   float64 // 97.5 percentile of bootstrap means
+	Resample int
+}
+
+// DefaultResamples matches the paper: 10,000 bootstrap samples.
+const DefaultResamples = 10000
+
+// BootstrapMean computes the bootstrap mean estimate and 95% CI with the
+// paper's methodology (§4.2): resample with replacement, same size as the
+// original, 10,000 times; the estimate is the mean of bootstrap means and
+// the CI the 2.5/97.5 percentiles. A seed makes results reproducible.
+func BootstrapMean(sample []float64, resamples int, seed int64) Bootstrap {
+	if resamples <= 0 {
+		resamples = DefaultResamples
+	}
+	n := len(sample)
+	if n == 0 {
+		return Bootstrap{Resample: resamples}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += sample[rng.Intn(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	var total float64
+	for _, m := range means {
+		total += m
+	}
+	return Bootstrap{
+		Mean:     total / float64(resamples),
+		CILow:    Quantile(means, 0.025),
+		CIHigh:   Quantile(means, 0.975),
+		Resample: resamples,
+	}
+}
+
+// Overlaps reports whether two confidence intervals overlap. Disjoint
+// intervals mean a significant difference at the 95% level (§4.2).
+func (b Bootstrap) Overlaps(other Bootstrap) bool {
+	return b.CILow <= other.CIHigh && other.CILow <= b.CIHigh
+}
+
+// NormalizedDelta returns (b - baseline) / baseline as a fraction:
+// negative means b is smaller (a speedup when the metric is time).
+func NormalizedDelta(b, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (b - baseline) / baseline
+}
+
+// Mean returns the arithmetic mean.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+// Median returns the sample median.
+func Median(sample []float64) float64 {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return Quantile(s, 0.5)
+}
+
+// FormatPercent renders a fraction as a signed percentage, e.g. -0.30 ->
+// "-30.0%".
+func FormatPercent(frac float64) string {
+	return fmt.Sprintf("%+.1f%%", frac*100)
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(s, tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Error("singleton quantile must be the element")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	s := []float64{0, 10}
+	if got := Quantile(s, 0.5); got != 5 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestBoxPlotBasic(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := NewBoxPlot(sample)
+	if b.Median != 5 {
+		t.Errorf("median = %v, want 5", b.Median)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("quartiles = %v/%v, want 3/7", b.Q1, b.Q3)
+	}
+	if b.IQR != 4 {
+		t.Errorf("IQR = %v, want 4", b.IQR)
+	}
+	if len(b.Mild) != 0 || len(b.Extreme) != 0 {
+		t.Error("uniform sample has no outliers")
+	}
+	if b.WhiskerLow != 1 || b.WhiskerHigh != 9 {
+		t.Errorf("whiskers = %v/%v, want 1/9", b.WhiskerLow, b.WhiskerHigh)
+	}
+}
+
+func TestBoxPlotOutlierClassification(t *testing.T) {
+	// Base cluster (Q1=12.25, Q3=16.75, IQR=4.5): mild outliers beyond
+	// 23.5, extreme beyond 30.25.
+	sample := []float64{10, 11, 12, 13, 14, 15, 16, 17, 25, 40}
+	b := NewBoxPlot(sample)
+	if len(b.Mild) != 1 || b.Mild[0] != 25 {
+		t.Errorf("mild outliers = %v, want [25] (Q1=%v Q3=%v IQR=%v)", b.Mild, b.Q1, b.Q3, b.IQR)
+	}
+	if len(b.Extreme) != 1 || b.Extreme[0] != 40 {
+		t.Errorf("extreme outliers = %v, want [40]", b.Extreme)
+	}
+	if b.WhiskerHigh != 17 {
+		t.Errorf("whisker high = %v, want 17 (outliers excluded)", b.WhiskerHigh)
+	}
+}
+
+func TestBoxPlotDoesNotMutateInput(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	NewBoxPlot(sample)
+	if sample[0] != 3 || sample[1] != 1 || sample[2] != 2 {
+		t.Fatal("NewBoxPlot must not sort the caller's slice")
+	}
+}
+
+func TestBootstrapMeanConstantSample(t *testing.T) {
+	b := BootstrapMean([]float64{5, 5, 5, 5}, 1000, 1)
+	if b.Mean != 5 || b.CILow != 5 || b.CIHigh != 5 {
+		t.Fatalf("constant sample bootstrap = %+v, want all 5", b)
+	}
+}
+
+func TestBootstrapMeanReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := make([]float64, 30)
+	for i := range sample {
+		sample[i] = 100 + rng.NormFloat64()*10
+	}
+	b := BootstrapMean(sample, DefaultResamples, 3)
+	if math.Abs(b.Mean-Mean(sample)) > 1 {
+		t.Fatalf("bootstrap mean %v far from sample mean %v", b.Mean, Mean(sample))
+	}
+	if b.CILow >= b.Mean || b.CIHigh <= b.Mean {
+		t.Fatalf("CI [%v, %v] must straddle the mean %v", b.CILow, b.CIHigh, b.Mean)
+	}
+	width := b.CIHigh - b.CILow
+	if width <= 0 || width > 20 {
+		t.Fatalf("CI width %v implausible for n=30, sd=10", width)
+	}
+}
+
+func TestBootstrapDeterministicForSeed(t *testing.T) {
+	sample := []float64{1, 5, 3, 8, 2}
+	a := BootstrapMean(sample, 500, 42)
+	b := BootstrapMean(sample, 500, 42)
+	if a != b {
+		t.Fatal("same seed must give identical bootstrap results")
+	}
+	c := BootstrapMean(sample, 500, 43)
+	if a == c {
+		t.Fatal("different seeds should differ (with overwhelming probability)")
+	}
+}
+
+func TestBootstrapEmpty(t *testing.T) {
+	b := BootstrapMean(nil, 100, 1)
+	if b.Mean != 0 {
+		t.Fatal("empty sample bootstrap mean must be 0")
+	}
+}
+
+func TestBootstrapDefaultResamples(t *testing.T) {
+	b := BootstrapMean([]float64{1, 2}, 0, 1)
+	if b.Resample != DefaultResamples {
+		t.Fatalf("resamples = %d, want default %d", b.Resample, DefaultResamples)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Bootstrap{CILow: 1, CIHigh: 3}
+	b := Bootstrap{CILow: 2, CIHigh: 4}
+	c := Bootstrap{CILow: 3.5, CIHigh: 5}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlapping CIs reported disjoint")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("disjoint CIs reported overlapping")
+	}
+	if !b.Overlaps(c) {
+		t.Error("touching CIs count as overlapping")
+	}
+}
+
+func TestNormalizedDelta(t *testing.T) {
+	if got := NormalizedDelta(70, 100); got != -0.3 {
+		t.Fatalf("delta = %v, want -0.3 (30%% speedup)", got)
+	}
+	if got := NormalizedDelta(130, 100); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("delta = %v, want 0.3", got)
+	}
+	if NormalizedDelta(5, 0) != 0 {
+		t.Fatal("zero baseline must not divide")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatal("median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	if got := FormatPercent(-0.305); got != "-30.5%" {
+		t.Fatalf("FormatPercent = %q", got)
+	}
+	if got := FormatPercent(0.05); got != "+5.0%" {
+		t.Fatalf("FormatPercent = %q", got)
+	}
+}
+
+func TestPropertyQuartilesOrdered(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		b := NewBoxPlot(raw)
+		return b.Q1 <= b.Median && b.Median <= b.Q3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBootstrapCIWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sample := make([]float64, 10)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range sample {
+			sample[i] = rng.Float64() * 100
+			if sample[i] < lo {
+				lo = sample[i]
+			}
+			if sample[i] > hi {
+				hi = sample[i]
+			}
+		}
+		b := BootstrapMean(sample, 200, seed)
+		return b.CILow >= lo && b.CIHigh <= hi && b.CILow <= b.CIHigh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

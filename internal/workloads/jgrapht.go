@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"fmt"
+
+	"hcsgc/internal/graphalg"
+	"hcsgc/internal/graphgen"
+)
+
+// The JGraphT benchmarks of §4.5: load a LAW-substitute graph (nodes
+// inserted — and hence allocated — in id order), then run an algorithm
+// whose traversal order differs from allocation order. GC cycles during
+// the run give HCSGC the opportunity to reorganise nodes into traversal
+// order.
+//
+// The paper uses BiconnectivityInspector for CC and
+// BronKerboschCliqueFinder for MC, on the Table 3 inputs. Default scales
+// keep a 19-config sweep tractable; Scale = 1 reproduces Table 3 sizes.
+const (
+	jgraphtCCScale = 0.25
+	// MC scaling preserves edge density (see graphgen.ScaledDensity):
+	// proportional scaling would make the small graph relatively denser
+	// and explode the number of maximal cliques.
+	jgraphtMCScale = 0.25
+	// ccPasses repeats the inspector pass; JGraphT's inspector caches are
+	// queried repeatedly by the driver, and repeated stable traversals are
+	// the access pattern HCSGC rewards (§4.8).
+	ccPasses = 10
+	mcRounds = 3
+)
+
+func jgraphtPreset(dataset string, mc bool) (graphgen.Preset, error) {
+	switch {
+	case dataset == "uk" && !mc:
+		return graphgen.UKCC, nil
+	case dataset == "uk" && mc:
+		return graphgen.UKMC, nil
+	case dataset == "enwiki" && !mc:
+		return graphgen.EnwikiCC, nil
+	case dataset == "enwiki" && mc:
+		return graphgen.EnwikiMC, nil
+	}
+	return graphgen.Preset{}, fmt.Errorf("workloads: unknown dataset %q", dataset)
+}
+
+// JGraphTCC is the connected/biconnected components benchmark
+// (Fig. 7: uk, Fig. 8: enwiki).
+func JGraphTCC(dataset string) Workload {
+	return Workload{
+		Name: fmt.Sprintf("JGraphT CC %s", dataset),
+		Run: func(cfg RunConfig) Result {
+			preset, err := jgraphtPreset(dataset, false)
+			if err != nil {
+				panic(err)
+			}
+			params := preset.Scaled(cfg.scale(jgraphtCCScale))
+			params.Seed += cfg.Seed // per-run graph variation
+			g := graphgen.MustGenerate(params)
+			e := newEnv(cfg, graphHeapBytes(g), 2)
+			gt := graphalg.RegisterTypes(e.rt.Types)
+			hg := graphalg.Load(e.m, gt, g, 0)
+			// The paper's driver loads the COMPLETE LAW dataset before
+			// inserting the used part into JGraphT; that load phase
+			// allocates heavily and produces the few early GC cycles the
+			// paper reports ("most of them occur within the first 5
+			// seconds"). Simulate it with transient allocation until a
+			// couple of cycles have run.
+			loadPhaseGarbage(e, 2)
+			e.sampleHeap()
+			e.markMeasured()
+			var check uint64
+			for pass := 0; pass < ccPasses; pass++ {
+				res := hg.Biconnectivity(e.m)
+				check += uint64(res.ConnectedComponents)*1_000_000 +
+					uint64(res.BiconnectedComponents)*1000 +
+					uint64(res.ArticulationPoints)
+				e.sampleHeap()
+			}
+			return e.finish(check)
+		},
+	}
+}
+
+// JGraphTMC is the Bron–Kerbosch maximal clique benchmark
+// (Fig. 9: uk, Fig. 10: enwiki).
+func JGraphTMC(dataset string) Workload {
+	return Workload{
+		Name: fmt.Sprintf("JGraphT MC %s", dataset),
+		Run: func(cfg RunConfig) Result {
+			preset, err := jgraphtPreset(dataset, true)
+			if err != nil {
+				panic(err)
+			}
+			params := preset.ScaledDensity(cfg.scale(jgraphtMCScale))
+			params.Seed += cfg.Seed
+			g := graphgen.MustGenerate(params)
+			e := newEnv(cfg, graphHeapBytes(g), 2)
+			gt := graphalg.RegisterTypes(e.rt.Types)
+			hg := graphalg.Load(e.m, gt, g, 0)
+			hg.AllocSetGarbage = true // JGraphT's per-call set copies
+			loadPhaseGarbage(e, 1)
+			e.sampleHeap()
+			e.markMeasured()
+			var check uint64
+			for round := 0; round < mcRounds; round++ {
+				res := hg.BronKerbosch(e.m, 0)
+				check += uint64(res.MaximalCliques)*1_000_000 +
+					uint64(res.TotalSize)
+				e.sampleHeap()
+			}
+			return e.finish(check)
+		},
+	}
+}
+
+// graphHeapBytes sizes the heap for a graph: nodes (48B + array slots),
+// edge objects (24B each) and adjacency arrays (two slots per edge), with
+// headroom, echoing the paper's per-input heap sizes in Table 3.
+func graphHeapBytes(g *graphgen.Graph) uint64 {
+	bytes := uint64(g.Nodes())*80 + uint64(g.EdgeCount)*48
+	heapBytes := bytes * 3
+	// Floor well above one medium page (32MB): loading allocates a
+	// medium-class temporary edge array. (The paper gives these inputs
+	// 600MB-4GB heaps, Table 3.)
+	if heapBytes < 64<<20 {
+		heapBytes = 64 << 20
+	}
+	return heapBytes
+}
+
+// loadPhaseGarbage allocates transient arrays until at least minCycles GC
+// cycles have completed (bounded), standing in for the dataset-loading
+// allocation of the paper's driver.
+func loadPhaseGarbage(e *env, minCycles uint64) {
+	const chunkWords = 511 // 4KB
+	maxBytes := e.rt.Heap.MaxBytes() * 8
+	var allocated uint64
+	for e.rt.Collector.Cycles() < minCycles && allocated < maxBytes {
+		e.m.AllocWordArray(chunkWords)
+		allocated += (chunkWords + 1) * 8
+	}
+}

@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"math/rand"
+)
+
+// Tradebeans models DaCapo's tradebeans (DayTrader): an order-processing
+// application where almost every allocated object (orders, DTOs,
+// marshalling buffers) dies within one request, over a modest long-lived
+// population of accounts, holdings and quotes. The paper attributes
+// tradebeans' small HCSGC gains to exactly this profile: "so many objects
+// are very short lived ... locality benefits must come through placement
+// at allocation-time" (§4.6).
+//
+// Methodology mirrors §4.2 for DaCapo: warm-up iterations followed by
+// measured iterations; execution time covers the measured part, cache
+// statistics the whole run.
+
+// Account object fields.
+const (
+	taBalance  = 0 // word
+	taHoldings = 1 // ref -> holdings array
+	taProfile  = 2 // ref -> profile object
+	taFields   = 3
+)
+
+// Holding object fields.
+const (
+	thQuote  = 0 // ref -> quote
+	thAmount = 1
+	thPrice  = 2
+	thFields = 3
+)
+
+// Quote object fields.
+const (
+	tqPrice  = 0
+	tqVolume = 1
+	tqFields = 2
+)
+
+// Order (short-lived) fields.
+const (
+	toAccount = 0 // ref
+	toQuote   = 1 // ref
+	toQty     = 2
+	toFields  = 3
+)
+
+// tradebeans scale constants (per unit of RunConfig.Scale). The account
+// population is sized so that the live object set exceeds the LLC (the
+// benchmark's real session/entity population is far larger than any
+// cache), leaving locality headroom for the hot subset.
+const (
+	taAccounts    = 60000
+	taQuotes      = 2000
+	taHoldingsPer = 4
+	taOpsPerIter  = 60000
+	// 15 warm-up + 10 measured iterations, the paper's DaCapo setup.
+	taWarmupIters   = 15
+	taMeasuredIters = 10
+	taDefaultScale  = 0.5
+)
+
+// Root slots: 0 = accounts array, 1 = quotes array.
+
+// Tradebeans is the Fig. 11 benchmark.
+func Tradebeans() Workload {
+	return Workload{
+		Name: "tradebeans (Fig. 11)",
+		Run: func(cfg RunConfig) Result {
+			scale := cfg.scale(taDefaultScale)
+			accounts := int(float64(taAccounts) * scale)
+			quotes := int(float64(taQuotes) * scale)
+			ops := int(float64(taOpsPerIter) * scale)
+			if accounts < 100 {
+				accounts = 100
+			}
+			if quotes < 50 {
+				quotes = 50
+			}
+			if ops < 1000 {
+				ops = 1000
+			}
+
+			// The paper gives DaCapo a 4GB heap; relative to the live set
+			// this keeps GC cycles rare, so HCSGC's relocation work is a
+			// small fraction of mutator work.
+			e := newEnv(cfg, 160<<20, 4)
+			account := e.rt.Types.Register("ta.account", taFields, []int{taHoldings, taProfile})
+			holding := e.rt.Types.Register("ta.holding", thFields, []int{thQuote})
+			quote := e.rt.Types.Register("ta.quote", tqFields, nil)
+			order := e.rt.Types.Register("ta.order", toFields, []int{toAccount, toQuote})
+
+			m := e.m
+			// Long-lived population.
+			qarr := m.AllocRefArray(quotes)
+			m.SetRoot(1, qarr)
+			for i := 0; i < quotes; i++ {
+				q := m.Alloc(quote)
+				m.StoreField(q, tqPrice, uint64(100+i))
+				m.StoreRef(m.LoadRoot(1), i, q)
+			}
+			aarr := m.AllocRefArray(accounts)
+			m.SetRoot(0, aarr)
+			for i := 0; i < accounts; i++ {
+				a := m.Alloc(account)
+				m.StoreField(a, taBalance, 1_000_000)
+				m.StoreRef(m.LoadRoot(0), i, a)
+				h := m.AllocRefArray(taHoldingsPer)
+				acct := m.LoadRef(m.LoadRoot(0), i)
+				m.StoreRef(acct, taHoldings, h)
+				for j := 0; j < taHoldingsPer; j++ {
+					hh := m.Alloc(holding)
+					m.StoreRef(hh, thQuote, m.LoadRef(m.LoadRoot(1), (i+j)%quotes))
+					m.StoreField(hh, thAmount, uint64(j+1))
+					acct = m.LoadRef(m.LoadRoot(0), i)
+					m.StoreRef(m.LoadRef(acct, taHoldings), j, hh)
+				}
+				// Short-lived profile churn during setup, like EJB init.
+				m.AllocWordArray(31)
+			}
+
+			// Trading activity concentrates on a stable subset of active
+			// accounts (sessions), with a uniform background — mild,
+			// exploitable locality, dominated by the short-lived churn.
+			hotAccounts := make([]int, accounts/8+1)
+			hotRng := rand.New(rand.NewSource(cfg.Seed + 3))
+			for i := range hotAccounts {
+				hotAccounts[i] = hotRng.Intn(accounts)
+			}
+
+			iteration := func(rng *rand.Rand) uint64 {
+				var check uint64
+				for op := 0; op < ops; op++ {
+					var ai int
+					if rng.Intn(100) < 80 {
+						ai = hotAccounts[rng.Intn(len(hotAccounts))]
+					} else {
+						ai = rng.Intn(accounts)
+					}
+					qi := rng.Intn(quotes)
+					// Short-lived DTO marshalling buffers and the order.
+					// All allocation happens before any reference is
+					// loaded: allocation safepoints invalidate held refs.
+					m.AllocWordArray(15) // request DTO
+					m.AllocWordArray(23) // response DTO
+					o := m.Alloc(order)
+					acct := m.LoadRef(m.LoadRoot(0), ai)
+					q := m.LoadRef(m.LoadRoot(1), qi)
+					price := m.LoadField(q, tqPrice)
+					m.StoreRef(o, toAccount, acct)
+					m.StoreRef(o, toQuote, q)
+					m.StoreField(o, toQty, uint64(op%7+1))
+					// Process: read holdings, update balance.
+					hold := m.LoadRef(acct, taHoldings)
+					sum := uint64(0)
+					for j := 0; j < taHoldingsPer; j++ {
+						hh := m.LoadRef(hold, j)
+						sum += m.LoadField(hh, thAmount) * price
+					}
+					bal := m.LoadField(acct, taBalance)
+					m.StoreField(acct, taBalance, bal+sum%97-48)
+					check += sum
+					// Request business logic (servlet/EJB/JDBC layers).
+					m.Work(1000)
+					if op%16 == 0 {
+						// Occasionally roll a holding over (old one dies).
+						hh := m.Alloc(holding)
+						m.StoreRef(hh, thQuote, m.LoadRef(m.LoadRoot(1), qi))
+						m.StoreField(hh, thAmount, uint64(op%5+1))
+						acct = m.LoadRef(m.LoadRoot(0), ai)
+						m.StoreRef(m.LoadRef(acct, taHoldings), op%taHoldingsPer, hh)
+					}
+					if op%1024 == 0 {
+						m.Safepoint()
+					}
+				}
+				return check
+			}
+
+			// Every iteration replays the same request sequence, as
+			// DaCapo iterations rerun the same requests.
+			var check uint64
+			for it := 0; it < taWarmupIters; it++ {
+				check += iteration(rand.New(rand.NewSource(cfg.Seed + 1000)))
+				e.sampleHeap()
+			}
+			e.markMeasured()
+			for it := 0; it < taMeasuredIters; it++ {
+				check += iteration(rand.New(rand.NewSource(cfg.Seed + 1000)))
+				e.sampleHeap()
+			}
+			return e.finish(check)
+		},
+	}
+}

@@ -1,0 +1,180 @@
+// Package workloads implements the paper's benchmark programs (§4.4–4.7)
+// against the public hcsgc API: the synthetic microbenchmarks, the JGraphT
+// graph computations, DaCapo-like tradebeans and h2 substitutes, and a
+// SPECjbb2015-like ramping transaction workload.
+//
+// Every workload is a deterministic function of its RunConfig seed except
+// for goroutine interleaving with the concurrent collector, which supplies
+// the run-to-run variance the paper's bootstrap methodology expects.
+package workloads
+
+import (
+	"fmt"
+
+	"hcsgc"
+	"hcsgc/internal/machine"
+	"hcsgc/internal/simmem"
+)
+
+// RunConfig parameterises one benchmark run.
+type RunConfig struct {
+	// Knobs is the HCSGC configuration under test.
+	Knobs hcsgc.Knobs
+	// Machine is the execution-time model (defaults to the laptop).
+	Machine hcsgc.Machine
+	// HeapMaxBytes overrides the workload's default heap size.
+	HeapMaxBytes uint64
+	// Seed drives all workload randomness.
+	Seed int64
+	// Scale in (0,1] shrinks the workload from paper scale. 0 means the
+	// workload's default benchmarking scale.
+	Scale float64
+	// GCWorkers / TriggerPercent pass through to the collector.
+	GCWorkers      int
+	TriggerPercent float64
+	// EvacThreshold overrides the evacuation live-ratio threshold
+	// (0 = the paper's 75%); used by the ablation benches.
+	EvacThreshold float64
+	// MemConfig overrides the cache hierarchy; used by the ablation
+	// benches (e.g. prefetcher off).
+	MemConfig *simmem.HierarchyConfig
+	// DisableMem turns the cache model off (functional tests only).
+	DisableMem bool
+}
+
+func (c RunConfig) scale(def float64) float64 {
+	if c.Scale > 0 {
+		return c.Scale
+	}
+	return def
+}
+
+// HeapSample is one point of the heap-usage-over-time series (the
+// rightmost plot of every figure).
+type HeapSample struct {
+	Seconds float64
+	UsedPct float64
+}
+
+// Result is the measurement of one run, covering the three aspects of
+// §4.2: execution time, cache statistics, GC statistics.
+type Result struct {
+	// ExecSeconds is the simulated wall-clock execution time of the
+	// measured portion.
+	ExecSeconds float64
+	// Loads / L1Misses / LLCMisses are whole-process cache counters for
+	// the complete run (as perf reports them).
+	Loads, L1Misses, LLCMisses uint64
+	// GCCycleCount is the number of GC cycles.
+	GCCycleCount int
+	// MedianECSmall is the median number of small pages selected for
+	// evacuation per cycle.
+	MedianECSmall float64
+	// MutatorReloc / GCReloc count objects relocated by each party.
+	MutatorReloc, GCReloc uint64
+	// HeapSamples traces heap occupancy over time.
+	HeapSamples []HeapSample
+	// Scores holds workload-specific metrics (SPECjbb throughput/latency).
+	Scores map[string]float64
+	// Check is a workload-defined checksum; identical across
+	// configurations for the same seed, or the run is wrong.
+	Check uint64
+}
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	Name string
+	Run  func(RunConfig) Result
+}
+
+// env bundles the runtime plumbing each workload sets up.
+type env struct {
+	rt  *hcsgc.Runtime
+	m   *hcsgc.Mutator
+	cfg RunConfig
+
+	samples   []HeapSample
+	execStart float64
+}
+
+// newEnv builds a runtime + main mutator for a workload.
+func newEnv(cfg RunConfig, heapDefault uint64, rootSlots int) *env {
+	heapBytes := cfg.HeapMaxBytes
+	if heapBytes == 0 {
+		heapBytes = heapDefault
+	}
+	mach := cfg.Machine
+	if mach.Cores == 0 {
+		mach = machine.Laptop()
+	}
+	rt := hcsgc.MustNewRuntime(hcsgc.Options{
+		HeapMaxBytes:    heapBytes,
+		Knobs:           cfg.Knobs,
+		GCWorkers:       cfg.GCWorkers,
+		TriggerPercent:  cfg.TriggerPercent,
+		EvacThreshold:   cfg.EvacThreshold,
+		Machine:         mach,
+		MemConfig:       cfg.MemConfig,
+		DisableMemModel: cfg.DisableMem,
+		StartDriver:     true,
+	})
+	return &env{rt: rt, m: rt.NewMutator(rootSlots), cfg: cfg}
+}
+
+// markMeasured starts the measured portion (after warm-up).
+func (e *env) markMeasured() {
+	e.execStart = e.rt.ExecSeconds()
+}
+
+// sampleHeap appends a heap-usage observation.
+func (e *env) sampleHeap() {
+	e.samples = append(e.samples, HeapSample{
+		Seconds: e.rt.ExecSeconds(),
+		UsedPct: e.rt.Heap.UsedPercent(),
+	})
+}
+
+// finish closes the runtime and assembles the Result.
+func (e *env) finish(check uint64) Result {
+	e.m.Close()
+	e.rt.Close()
+	ms := e.rt.MemStats()
+	st := e.rt.Collector.Stats()
+	return Result{
+		ExecSeconds:   e.rt.ExecSeconds() - e.execStart,
+		Loads:         ms.Loads,
+		L1Misses:      ms.L1Misses,
+		LLCMisses:     ms.LLCMisses,
+		GCCycleCount:  len(st.Cycles),
+		MedianECSmall: st.MedianECSmall(),
+		MutatorReloc:  st.MutatorRelocObjects,
+		GCReloc:       st.GCRelocObjects,
+		HeapSamples:   e.samples,
+		Check:         check,
+	}
+}
+
+// All returns every workload keyed by the experiment it reproduces.
+func All() map[string]Workload {
+	return map[string]Workload{
+		"fig4":  SyntheticSinglePhase(),
+		"fig5":  SyntheticMultiPhase(),
+		"fig6":  SyntheticOverloaded(),
+		"fig7":  JGraphTCC("uk"),
+		"fig8":  JGraphTCC("enwiki"),
+		"fig9":  JGraphTMC("uk"),
+		"fig10": JGraphTMC("enwiki"),
+		"fig11": Tradebeans(),
+		"fig12": H2(),
+		"fig13": SPECjbb(),
+	}
+}
+
+// Get looks up a workload by experiment id.
+func Get(id string) (Workload, error) {
+	w, ok := All()[id]
+	if !ok {
+		return Workload{}, fmt.Errorf("workloads: unknown experiment %q", id)
+	}
+	return w, nil
+}

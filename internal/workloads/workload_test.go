@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"testing"
+
+	"hcsgc"
+)
+
+// tinyCfg returns a fast functional-test configuration.
+func tinyCfg(knobs hcsgc.Knobs, seed int64) RunConfig {
+	return RunConfig{
+		Knobs: knobs,
+		Seed:  seed,
+		Scale: 0.01,
+	}
+}
+
+func TestAllWorkloadsRegistered(t *testing.T) {
+	all := All()
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		w, ok := all[id]
+		if !ok {
+			t.Errorf("missing workload %s", id)
+			continue
+		}
+		if w.Name == "" || w.Run == nil {
+			t.Errorf("workload %s incomplete", id)
+		}
+	}
+	if _, err := Get("fig4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("nonesuch"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+// runBoth runs a workload under baseline and an aggressive HCSGC config
+// with the same seed, checking the results are sane and checksums match
+// (GC configuration must never change program results).
+func runBoth(t *testing.T, id string) (base, hcs Result) {
+	t.Helper()
+	w, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = w.Run(tinyCfg(hcsgc.Knobs{}, 42))
+	hcs = w.Run(tinyCfg(hcsgc.Knobs{
+		Hotness: true, ColdPage: true, ColdConfidence: 1.0, LazyRelocate: true,
+	}, 42))
+	if base.Check != hcs.Check {
+		t.Fatalf("%s: checksum differs across configs: %d vs %d", id, base.Check, hcs.Check)
+	}
+	if base.ExecSeconds <= 0 || hcs.ExecSeconds <= 0 {
+		t.Fatalf("%s: non-positive execution time", id)
+	}
+	if base.Loads == 0 {
+		t.Fatalf("%s: no loads recorded", id)
+	}
+	return base, hcs
+}
+
+func TestSyntheticSinglePhase(t *testing.T) { runBoth(t, "fig4") }
+func TestSyntheticMultiPhase(t *testing.T)  { runBoth(t, "fig5") }
+
+func TestSyntheticOverloaded(t *testing.T) {
+	base, _ := runBoth(t, "fig6")
+	// Fig. 6 runs on the single-core model by default.
+	if base.GCCycleCount == 0 {
+		t.Log("no GC cycles at tiny scale (acceptable)")
+	}
+}
+
+func TestJGraphTCCUK(t *testing.T)     { runBoth(t, "fig7") }
+func TestJGraphTCCEnwiki(t *testing.T) { runBoth(t, "fig8") }
+func TestJGraphTMCUK(t *testing.T)     { runBoth(t, "fig9") }
+func TestJGraphTMCEnwiki(t *testing.T) { runBoth(t, "fig10") }
+func TestTradebeans(t *testing.T)      { runBoth(t, "fig11") }
+func TestH2(t *testing.T)              { runBoth(t, "fig12") }
+
+func TestSPECjbbScores(t *testing.T) {
+	w, _ := Get("fig13")
+	res := w.Run(tinyCfg(hcsgc.Knobs{}, 42))
+	if res.Scores["max-jOPS"] <= 0 {
+		t.Fatalf("max-jOPS = %v", res.Scores["max-jOPS"])
+	}
+	if res.Scores["critical-jOPS"] < 0 || res.Scores["critical-jOPS"] > res.Scores["max-jOPS"] {
+		t.Fatalf("critical-jOPS = %v implausible vs max %v",
+			res.Scores["critical-jOPS"], res.Scores["max-jOPS"])
+	}
+	if len(res.HeapSamples) == 0 {
+		t.Fatal("heap samples missing")
+	}
+}
+
+func TestSyntheticTriggersGC(t *testing.T) {
+	// At moderate scale, the garbage allocation must trigger GC cycles.
+	w, _ := Get("fig4")
+	res := w.Run(RunConfig{Knobs: hcsgc.Knobs{}, Seed: 1, Scale: 0.03})
+	if res.GCCycleCount == 0 {
+		t.Fatal("synthetic benchmark must trigger GC cycles")
+	}
+	if len(res.HeapSamples) == 0 {
+		t.Fatal("heap samples missing")
+	}
+}
+
+func TestJGraphTLoadPhaseTriggersGC(t *testing.T) {
+	w, _ := Get("fig7")
+	res := w.Run(RunConfig{Knobs: hcsgc.Knobs{}, Seed: 1, Scale: 0.05})
+	if res.GCCycleCount < 2 {
+		t.Fatalf("CC load phase should produce >=2 early GC cycles, got %d", res.GCCycleCount)
+	}
+}
+
+func TestMutatorRelocationHappensUnderLazy(t *testing.T) {
+	w, _ := Get("fig4")
+	res := w.Run(RunConfig{
+		Knobs: hcsgc.Knobs{RelocateAllSmallPages: true, LazyRelocate: true},
+		Seed:  1, Scale: 0.03,
+	})
+	if res.MutatorReloc == 0 {
+		t.Fatal("lazy+all configuration must produce mutator relocations")
+	}
+}
+
+func TestDeterministicChecksumAcrossSeeds(t *testing.T) {
+	w, _ := Get("fig12")
+	a := w.Run(tinyCfg(hcsgc.Knobs{}, 5))
+	b := w.Run(tinyCfg(hcsgc.Knobs{}, 5))
+	if a.Check != b.Check {
+		t.Fatal("same seed must give same checksum")
+	}
+	c := w.Run(tinyCfg(hcsgc.Knobs{}, 6))
+	if a.Check == c.Check {
+		t.Fatal("different seeds should give different checksums")
+	}
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates every table and figure into this directory, plus two
+# ablation sweeps. The paper uses 30 runs per config for synthetic and
+# JGraphT and 5 for DaCapo/SPECjbb; RUNS=5 keeps the full sweep around an
+# hour of host CPU at the default workload scales. The committed results
+# were produced with RUNS=5 for fig4/6/9/10/13 and RUNS=3 for
+# fig5/7/8/11/12 on a single-CPU container.
+set -x
+BIN=${BIN:-./hcsgc-bench}
+OUT=${OUT:-$(dirname "$0")}
+RUNS=${RUNS:-5}
+$BIN -exp table1 > "$OUT/table1.txt" 2>&1
+$BIN -exp table2 > "$OUT/table2.txt" 2>&1
+$BIN -exp table3 -scale 0.25 > "$OUT/table3.txt" 2>&1
+for fig in fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13; do
+  $BIN -exp $fig -runs "$RUNS" -q -csv "$OUT/$fig.csv" > "$OUT/$fig.txt" 2>&1
+done
+$BIN -ablate prefetch -runs 3 > "$OUT/ablate_prefetch.txt" 2>&1
+$BIN -ablate gcworkers -runs 3 > "$OUT/ablate_gcworkers.txt" 2>&1
