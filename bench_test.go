@@ -58,6 +58,38 @@ func BenchmarkFig11Tradebeans(b *testing.B) { benchmarkFigure(b, "fig11") }
 func BenchmarkFig12H2(b *testing.B)         { benchmarkFigure(b, "fig12") }
 func BenchmarkFig13SPECjbb(b *testing.B)    { benchmarkFigure(b, "fig13") }
 
+// BenchmarkTelemetryOverhead measures the cost of the telemetry
+// instrumentation on a representative workload run: "off" is a nil sink
+// (every instrumentation site reduces to one predictable nil check, the
+// production default), "on" attaches a live recorder and registry. The
+// acceptance bar is "off" within 5% of the pre-telemetry baseline; "on"
+// quantifies the price of enabling observability.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	w, err := workloads.Get("fig4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	knobs := bench.KnobsFor(4)
+	for _, mode := range []struct {
+		name string
+		sink func() *hcsgc.TelemetrySink
+	}{
+		{"off", func() *hcsgc.TelemetrySink { return nil }},
+		{"on", hcsgc.NewTelemetrySink},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Run(workloads.RunConfig{
+					Knobs:     knobs,
+					Seed:      int64(i + 1),
+					Scale:     benchScale,
+					Telemetry: mode.sink(),
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkTable1PageAlloc measures the page allocator underlying the
 // Table 1 size classes.
 func BenchmarkTable1PageAlloc(b *testing.B) {

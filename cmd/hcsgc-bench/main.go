@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hcsgc"
 	"hcsgc/internal/bench"
 )
 
@@ -32,8 +33,21 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		ablate  = flag.String("ablate", "", "run an ablation sweep instead: "+strings.Join(bench.AblationNames(), ", "))
+		telAddr = flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics, /metrics.json, /trace, /gclog)")
 	)
 	flag.Parse()
+
+	var sink *hcsgc.TelemetrySink
+	if *telAddr != "" {
+		sink = hcsgc.NewTelemetrySink()
+		srv, err := sink.Serve(*telAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "hcsgc-bench: telemetry on http://%s (/metrics /metrics.json /trace /gclog)\n", srv.Addr())
+	}
 
 	if *list {
 		for _, id := range bench.ExperimentIDs() {
@@ -78,14 +92,14 @@ func main() {
 	}
 
 	for _, id := range ids {
-		if err := runOne(id, *runs, *scale, *seed, *configs, *quiet, csvFile); err != nil {
+		if err := runOne(id, *runs, *scale, *seed, *configs, *quiet, csvFile, sink); err != nil {
 			fmt.Fprintf(os.Stderr, "hcsgc-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runOne(id string, runs int, scale float64, seed int64, configs string, quiet bool, csvFile *os.File) error {
+func runOne(id string, runs int, scale float64, seed int64, configs string, quiet bool, csvFile *os.File, sink *hcsgc.TelemetrySink) error {
 	switch id {
 	case "table1":
 		bench.WriteTable1(os.Stdout)
@@ -122,6 +136,7 @@ func runOne(id string, runs int, scale float64, seed int64, configs string, quie
 		}
 		spec.Configs = ids
 	}
+	spec.Telemetry = sink
 	progress := bench.Progress(nil)
 	if !quiet {
 		progress = func(format string, args ...any) {

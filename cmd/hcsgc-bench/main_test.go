@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"hcsgc"
+)
 
 func TestParseConfigs(t *testing.T) {
 	got, err := parseConfigs("0, 4,16")
@@ -20,20 +25,44 @@ func TestParseConfigs(t *testing.T) {
 
 func TestRunOneTables(t *testing.T) {
 	for _, id := range []string{"table1", "table2"} {
-		if err := runOne(id, 0, 0, 0, "", true, nil); err != nil {
+		if err := runOne(id, 0, 0, 0, "", true, nil, nil); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
 	}
 }
 
 func TestRunOneUnknown(t *testing.T) {
-	if err := runOne("nonesuch", 0, 0, 0, "", true, nil); err == nil {
+	if err := runOne("nonesuch", 0, 0, 0, "", true, nil, nil); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
 
 func TestRunOneTinyFigure(t *testing.T) {
-	if err := runOne("fig13", 1, 0.01, 1, "0,5", true, nil); err != nil {
+	if err := runOne("fig13", 1, 0.01, 1, "0,5", true, nil, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunOneWithTelemetry drives a tiny experiment with the telemetry
+// sink attached (the -telemetry-addr path) and checks that the metrics
+// endpoint would serve the core schema afterwards.
+func TestRunOneWithTelemetry(t *testing.T) {
+	sink := hcsgc.NewTelemetrySink()
+	if err := runOne("fig4", 1, 0.005, 1, "0,4", true, nil, sink); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	sink.Metrics().WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"hcsgc_gc_cycles_total",
+		"hcsgc_pause_cycles_bucket",
+		`hcsgc_reloc_objects_total{who="gc"}`,
+		`hcsgc_reloc_objects_total{who="mutator"}`,
+		"hcsgc_page_hotmap_density",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

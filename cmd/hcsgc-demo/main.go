@@ -8,7 +8,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	"hcsgc"
 )
@@ -20,17 +22,21 @@ func main() {
 	n := flag.Int("n", 300000, "number of objects")
 	show := flag.Int("show", 12, "objects to print per layout dump")
 	flag.Parse()
-
-	order := rand.New(rand.NewSource(42)).Perm(*n)
-
-	fmt.Println("=== baseline (original ZGC behaviour) ===")
-	run(hcsgc.Knobs{}, *n, order, *show)
-	fmt.Println()
-	fmt.Println("=== HCSGC: RelocateAllSmallPages + LazyRelocate ===")
-	run(hcsgc.Knobs{RelocateAllSmallPages: true, LazyRelocate: true}, *n, order, *show)
+	demo(os.Stdout, *n, *show)
 }
 
-func run(knobs hcsgc.Knobs, n int, order []int, show int) {
+// demo runs the full comparison, writing the report to w.
+func demo(w io.Writer, n, show int) {
+	order := rand.New(rand.NewSource(42)).Perm(n)
+
+	fmt.Fprintln(w, "=== baseline (original ZGC behaviour) ===")
+	run(w, hcsgc.Knobs{}, n, order, show)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "=== HCSGC: RelocateAllSmallPages + LazyRelocate ===")
+	run(w, hcsgc.Knobs{RelocateAllSmallPages: true, LazyRelocate: true}, n, order, show)
+}
+
+func run(w io.Writer, knobs hcsgc.Knobs, n int, order []int, show int) {
 	rt := hcsgc.MustNewRuntime(hcsgc.Options{
 		HeapMaxBytes: 256 << 20,
 		Knobs:        knobs,
@@ -49,12 +55,12 @@ func run(knobs hcsgc.Knobs, n int, order []int, show int) {
 	}
 
 	dump := func(when string) {
-		fmt.Printf("%-28s", when+":")
-		for k := 0; k < show; k++ {
+		fmt.Fprintf(w, "%-28s", when+":")
+		for k := 0; k < show && k < len(order); k++ {
 			ref := m.LoadRef(m.LoadRoot(0), order[k])
-			fmt.Printf(" %#x", ref.Addr())
+			fmt.Fprintf(w, " %#x", ref.Addr())
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	dump("layout before GC")
@@ -78,11 +84,11 @@ func run(knobs hcsgc.Knobs, n int, order []int, show int) {
 	}
 	after := rt.MemStats()
 
-	fmt.Printf("1st traversal: %d loads, %d LLC misses (includes relocation)\n",
+	fmt.Fprintf(w, "1st traversal: %d loads, %d LLC misses (includes relocation)\n",
 		mid.Loads-before.Loads, mid.LLCMisses-before.LLCMisses)
-	fmt.Printf("2nd traversal: %d loads, %d LLC misses\n",
+	fmt.Fprintf(w, "2nd traversal: %d loads, %d LLC misses\n",
 		after.Loads-mid.Loads, after.LLCMisses-mid.LLCMisses)
 	st := rt.Collector.Stats()
-	fmt.Printf("GC cycles: %d | mutator-relocated objects: %d | GC-relocated: %d\n",
+	fmt.Fprintf(w, "GC cycles: %d | mutator-relocated objects: %d | GC-relocated: %d\n",
 		rt.Collector.Cycles(), st.MutatorRelocObjects, st.GCRelocObjects)
 }

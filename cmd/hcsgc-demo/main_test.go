@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDemoSmoke runs the demo guts with a tiny heap population and
+// asserts it completes without panicking and emits both sections.
+func TestDemoSmoke(t *testing.T) {
+	var b strings.Builder
+	demo(&b, 5000, 4)
+	out := b.String()
+	if out == "" {
+		t.Fatal("demo produced no output")
+	}
+	for _, want := range []string{
+		"=== baseline (original ZGC behaviour) ===",
+		"=== HCSGC: RelocateAllSmallPages + LazyRelocate ===",
+		"layout before GC",
+		"layout after 1st traversal",
+		"2nd traversal:",
+		"GC cycles:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q", want)
+		}
+	}
+	// Two runs, each dumping `show` addresses per layout line.
+	if got := strings.Count(out, "layout before GC"); got != 2 {
+		t.Errorf("got %d baseline dumps, want 2", got)
+	}
+}

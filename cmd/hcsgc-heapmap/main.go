@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hcsgc"
@@ -21,9 +22,13 @@ func main() {
 		coldpage = flag.Bool("coldpage", true, "enable COLDPAGE+HOTNESS+COLDCONFIDENCE=1")
 	)
 	flag.Parse()
+	heapmap(os.Stdout, *n, *hotFrac, *cycles, *coldpage)
+}
 
+// heapmap runs the visualisation, writing the GC log and heap map to w.
+func heapmap(w io.Writer, n, hotFrac, cycles int, coldpage bool) {
 	knobs := hcsgc.Knobs{}
-	if *coldpage {
+	if coldpage {
 		knobs = hcsgc.Knobs{Hotness: true, ColdPage: true, ColdConfidence: 1.0}
 	}
 	rt := hcsgc.MustNewRuntime(hcsgc.Options{
@@ -35,25 +40,25 @@ func main() {
 	m := rt.NewMutator(2)
 	defer m.Close()
 
-	arr := m.AllocRefArray(*n)
+	arr := m.AllocRefArray(n)
 	m.SetRoot(0, arr)
-	for i := 0; i < *n; i++ {
+	for i := 0; i < n; i++ {
 		o := m.Alloc(obj)
 		m.StoreField(o, 0, uint64(i))
 		m.StoreRef(m.LoadRoot(0), i, o)
 	}
 
-	for cyc := 0; cyc < *cycles; cyc++ {
+	for cyc := 0; cyc < cycles; cyc++ {
 		// Touch the hot subset, then collect: the next mark flags them hot
 		// and relocation segregates.
-		for i := 0; i < *n; i += *hotFrac {
+		for i := 0; i < n; i += hotFrac {
 			m.LoadRef(m.LoadRoot(0), i)
 		}
 		m.RequestGC()
 	}
 
-	fmt.Printf("=== GC log (%v) ===\n", knobs)
-	rt.Collector.WriteGCLog(os.Stdout)
-	fmt.Printf("\n=== heap map ===\n")
-	rt.Heap.WriteHeapMap(os.Stdout)
+	fmt.Fprintf(w, "=== GC log (%v) ===\n", knobs)
+	rt.Collector.WriteGCLog(w)
+	fmt.Fprintf(w, "\n=== heap map ===\n")
+	rt.Heap.WriteHeapMap(w)
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHeapmapSmoke runs the heapmap guts with a tiny population under
+// both configurations and asserts non-empty, well-formed output.
+func TestHeapmapSmoke(t *testing.T) {
+	for _, coldpage := range []bool{false, true} {
+		var b strings.Builder
+		heapmap(&b, 5000, 5, 2, coldpage)
+		out := b.String()
+		if out == "" {
+			t.Fatalf("coldpage=%v: no output", coldpage)
+		}
+		for _, want := range []string{
+			"=== GC log",
+			"[gc] GC(1)",
+			"[gc] totals:",
+			"=== heap map ===",
+			"heap:",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("coldpage=%v: output missing %q", coldpage, want)
+			}
+		}
+	}
+}

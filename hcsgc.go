@@ -31,6 +31,7 @@ import (
 	"hcsgc/internal/machine"
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
+	"hcsgc/internal/telemetry"
 )
 
 // Re-exported types so users never import internal packages.
@@ -53,7 +54,15 @@ type (
 	MemStats = simmem.SystemStats
 	// Machine is the core-count/clock model used for execution time.
 	Machine = machine.Model
+	// TelemetrySink is the live observability surface: event recorder,
+	// metrics registry, and HTTP exporters (see internal/telemetry).
+	TelemetrySink = telemetry.Sink
 )
+
+// NewTelemetrySink builds an enabled telemetry sink. Pass it via
+// Options.Telemetry (several runtimes may share one sink; its metrics
+// then accumulate across them) and serve it with Sink.Serve.
+func NewTelemetrySink() *TelemetrySink { return telemetry.NewSink() }
 
 // NullRef is the null reference.
 const NullRef = heap.NullRef
@@ -94,6 +103,9 @@ type Options struct {
 	Costs CostModel
 	// StartDriver launches the background occupancy-triggered GC driver.
 	StartDriver bool
+	// Telemetry attaches a live observability sink (nil = disabled; the
+	// disabled instrumentation costs one predictable branch per site).
+	Telemetry *TelemetrySink
 }
 
 // Runtime bundles the full system.
@@ -127,6 +139,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		MaxBytes:        opts.HeapMaxBytes,
 		EnableTinyClass: opts.Knobs.TinyPages,
 	}, mem)
+	h.SetRecorder(opts.Telemetry.Recorder())
 	types := objmodel.NewRegistry()
 	col, err := core.New(h, types, core.Config{
 		Knobs:          opts.Knobs,
@@ -134,10 +147,12 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		GCWorkers:      opts.GCWorkers,
 		TriggerPercent: opts.TriggerPercent,
 		EvacThreshold:  opts.EvacThreshold,
+		Telemetry:      opts.Telemetry,
 	})
 	if err != nil {
 		return nil, err
 	}
+	opts.Telemetry.SetGCLog(col.WriteGCLog)
 	mach := opts.Machine
 	if mach.Cores == 0 {
 		mach = LaptopMachine

@@ -27,6 +27,9 @@ type Spec struct {
 	// ScoreMetrics, when set, means the workload's Scores (not execution
 	// time) are the headline metrics (SPECjbb).
 	ScoreMetrics []string
+	// Telemetry, when non-nil, attaches the live observability sink to
+	// every run of the experiment (cmd/hcsgc-bench -telemetry-addr).
+	Telemetry *hcsgc.TelemetrySink
 }
 
 // ConfigResult aggregates one configuration's runs.
@@ -96,9 +99,10 @@ func Run(spec Spec, progress Progress) (Result, error) {
 		var loads, l1, llc, cycles, medEC, mutReloc, gcReloc float64
 		for run := 0; run < spec.Runs; run++ {
 			out := w.Run(workloads.RunConfig{
-				Knobs: knobs,
-				Seed:  spec.Seed + int64(run),
-				Scale: spec.Scale,
+				Knobs:     knobs,
+				Seed:      spec.Seed + int64(run),
+				Scale:     spec.Scale,
+				Telemetry: spec.Telemetry,
 			})
 			if prev, seen := res.Checks[run]; seen {
 				if out.Check != prev {

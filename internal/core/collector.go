@@ -10,6 +10,7 @@ import (
 	"hcsgc/internal/heap"
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
+	"hcsgc/internal/telemetry"
 )
 
 // Phase is the collector's era between pauses. The good color and phase
@@ -74,6 +75,8 @@ type Collector struct {
 	cycles  atomic.Uint64
 
 	stats        statsLog
+	tm           colTelemetry
+	relocSample  atomic.Uint64 // sampling cursor for trace reloc_win instants
 	effConf      atomic.Uint64 // effective ColdConfidence (bits of float64), for AutoTune
 	lastTuneMiss float64
 
@@ -95,6 +98,7 @@ func New(h *heap.Heap, types *objmodel.Registry, cfg Config) (*Collector, error)
 		pool:  newMarkPool(),
 		muts:  make(map[*Mutator]struct{}),
 	}
+	c.tm = newColTelemetry(cfg.Telemetry)
 	c.good.Store(uint64(heap.ColorRemapped))
 	c.phase.Store(uint32(PhaseRelocate))
 	c.setEffConf(cfg.Knobs.ColdConfidence)
@@ -161,6 +165,7 @@ func (c *Collector) collectIfDue(prev uint64, reason string) {
 // HCSGC lazy:  RE (leftover from previous cycle), STW1, M/R, STW2, EC, STW3
 func (c *Collector) runCycle(reason string) {
 	cs := &CycleStats{Seq: c.cycles.Load() + 1, Trigger: reason, HeapUsedBefore: c.heap.UsedPercent()}
+	c.tm.rec.BeginSpan(telemetry.SpanCycle, collectorTID)
 
 	// --- RE completion. In lazy mode the GC-thread share of relocation
 	// was deferred to now (paper Fig. 3: "a GC cycle starts with RE");
@@ -173,7 +178,8 @@ func (c *Collector) runCycle(reason string) {
 
 	// --- STW1: flip to the mark color, snapshot the page set, reset
 	// live/hot maps, scan roots.
-	c.sp.stopTheWorld()
+	c.stopTheWorldTimed(telemetry.SpanPause1)
+	c.tm.rec.BeginSpan(telemetry.SpanPause1, collectorTID)
 	pause1 := c.beginPauseAccounting()
 	c.startSeq.Store(c.heap.CurrentSeq())
 	markColor := heap.ColorMarked0
@@ -198,9 +204,11 @@ func (c *Collector) runCycle(reason string) {
 	c.pool.setActive(len(c.workers))
 	c.pool.put(rootGrays)
 	cs.Pause1 = c.endPauseAccounting(pause1)
+	c.tm.rec.EndSpan(telemetry.SpanPause1, collectorTID)
 	c.sp.resumeTheWorld()
 
 	// --- M/R: concurrent parallel marking with mutator assistance.
+	c.tm.rec.BeginSpan(telemetry.SpanMark, collectorTID)
 	var markWG sync.WaitGroup
 	for _, w := range c.workers {
 		markWG.Add(1)
@@ -213,7 +221,7 @@ func (c *Collector) runCycle(reason string) {
 	// --- STW2: attempt mark termination until the wavefront is clean.
 	for {
 		c.pool.waitQuiescent()
-		c.sp.stopTheWorld()
+		c.stopTheWorldTimed(telemetry.SpanPause2)
 		flushed := false
 		c.forEachMutator(func(m *Mutator) {
 			if len(m.markBuf) > 0 {
@@ -227,6 +235,8 @@ func (c *Collector) runCycle(reason string) {
 		}
 		c.sp.resumeTheWorld()
 	}
+	c.tm.rec.EndSpan(telemetry.SpanMark, collectorTID)
+	c.tm.rec.BeginSpan(telemetry.SpanPause2, collectorTID)
 	pause2 := c.beginPauseAccounting()
 	c.pool.terminate()
 	markWG.Wait()
@@ -238,13 +248,18 @@ func (c *Collector) runCycle(reason string) {
 	c.pendingDrop = nil
 	cs.Pause2 = c.endPauseAccounting(pause2)
 	cs.MarkedBytes = c.totalMarkedBytes()
+	c.recordMarkEnd(cs)
+	c.tm.rec.EndSpan(telemetry.SpanPause2, collectorTID)
 	c.sp.resumeTheWorld()
 
 	// --- EC selection (concurrent with mutators).
+	c.tm.rec.BeginSpan(telemetry.SpanECSelect, collectorTID)
 	c.selectEvacuationCandidates(cs)
+	c.tm.rec.EndSpan(telemetry.SpanECSelect, collectorTID)
 
 	// --- STW3: flip to R, relocate/heal all roots.
-	c.sp.stopTheWorld()
+	c.stopTheWorldTimed(telemetry.SpanPause3)
+	c.tm.rec.BeginSpan(telemetry.SpanPause3, collectorTID)
 	pause3 := c.beginPauseAccounting()
 	c.good.Store(uint64(heap.ColorRemapped))
 	c.phase.Store(uint32(PhaseRelocate))
@@ -254,6 +269,7 @@ func (c *Collector) runCycle(reason string) {
 		}
 	})
 	cs.Pause3 = c.endPauseAccounting(pause3)
+	c.tm.rec.EndSpan(telemetry.SpanPause3, collectorTID)
 	c.sp.resumeTheWorld()
 
 	// --- RE: in the original ZGC schedule, GC threads race mutators for
@@ -273,6 +289,8 @@ func (c *Collector) runCycle(reason string) {
 	cs.HeapUsedAfter = c.heap.UsedPercent()
 	c.cycles.Add(1)
 	c.stats.append(cs)
+	c.recordCycleEnd(cs)
+	c.tm.rec.EndSpan(telemetry.SpanCycle, collectorTID)
 	if c.cfg.Knobs.AutoTune {
 		c.autoTune()
 	}
@@ -438,6 +456,7 @@ func (c *Collector) selectEvacuationCandidates(cs *CycleStats) {
 	for _, cd := range cands {
 		cd.p.SelectForEvacuation()
 		c.ecPages = append(c.ecPages, cd.p)
+		c.tm.rec.Record(telemetry.EvPageECSelect, uint32(cd.p.Class()), cd.p.Start(), cd.p.LiveBytes())
 		switch cd.p.Class() {
 		case heap.ClassMedium:
 			cs.ECMedium++

@@ -10,7 +10,11 @@
 // benchmark harness.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"hcsgc/internal/telemetry"
+)
 
 // Knobs are the five HCSGC tuning knobs of Table 2 plus the extension
 // options the paper lists as future work. The zero value is the original
@@ -128,6 +132,9 @@ type Config struct {
 	EvacThreshold float64
 	// TriggerPercent is the heap occupancy that starts a GC cycle.
 	TriggerPercent float64
+	// Telemetry is the optional observability sink. Nil disables all
+	// instrumentation (each site reduces to one predictable branch).
+	Telemetry *telemetry.Sink
 }
 
 func (c Config) withDefaults() Config {

@@ -31,6 +31,8 @@ func (c *Collector) WriteGCLog(w io.Writer) {
 
 func fmtBytes(b uint64) string {
 	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
 	case b >= 1<<20:
 		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
 	case b >= 1<<10:

@@ -196,6 +196,7 @@ func (m *Mutator) allocStall(alloc func() (uint64, error)) uint64 {
 			panic(fmt.Sprintf("core: allocation failed: %v", err))
 		}
 		m.Stalls++
+		m.c.tm.allocStalls.Inc()
 		prev := m.c.cycles.Load()
 		m.c.sp.beginBlocked()
 		m.c.collectIfDue(prev, "allocation stall")
@@ -296,6 +297,7 @@ func (m *Mutator) ArrayLen(obj heap.Ref) int {
 func (m *Mutator) barrierSlow(raw heap.Ref) heap.Ref {
 	c := m.c
 	m.extra.Add(c.cfg.Costs.BarrierSlow)
+	c.tm.barrierSlow.Inc()
 	addr := raw.Addr()
 	p := c.heap.PageOf(addr)
 	if p == nil {

@@ -7,6 +7,7 @@ import (
 	"hcsgc/internal/heap"
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
+	"hcsgc/internal/telemetry"
 )
 
 // relocCtx is a relocation execution context: who is copying (a mutator, a
@@ -108,14 +109,25 @@ func (c *Collector) relocateObject(ctx *relocCtx, addr uint64, p *heap.Page) uin
 		ctx.undoTarget(dst, size)
 		return final
 	}
+	who := telemetry.RelocByGC
 	if ctx.byMutator {
 		c.stats.addMutatorReloc(size)
+		who = telemetry.RelocByMutator
 	} else {
 		c.stats.addGCReloc(size)
+	}
+	c.tm.relocObjects[who].Inc()
+	c.tm.relocBytes[who].Add(size)
+	// Relocation wins arrive at millions per second; unsampled they would
+	// evict every phase span from the trace ring. The counters above stay
+	// exact; the trace gets 1 instant in every relocSampleMask+1 wins.
+	if c.tm.enabled && c.relocSample.Add(1)&relocSampleMask == 1 {
+		c.tm.rec.Record(telemetry.EvRelocWin, who, addr, size)
 	}
 	if p.ObjectRelocated() {
 		// Last live object gone: recycle the page now; its forwarding
 		// table survives until next mark end.
+		c.tm.rec.Record(telemetry.EvPageEvacuated, uint32(p.Class()), p.Start(), 0)
 		c.heap.FreePage(p)
 	}
 	return final
@@ -180,6 +192,9 @@ func (c *Collector) allocMedium(size uint64) (uint64, error) {
 // remaining live object, walking the livemap in address order.
 func (w *gcWorker) drainLoop(cs *CycleStats) {
 	c := w.c
+	tid := uint32(2 + w.id)
+	c.tm.rec.BeginSpan(telemetry.SpanRelocate, tid)
+	defer c.tm.rec.EndSpan(telemetry.SpanRelocate, tid)
 	for {
 		i := c.ecCursor.Add(1) - 1
 		if int(i) >= len(c.ecPages) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -102,12 +103,7 @@ func (s Stats) MedianECSmall() float64 {
 	for i, cs := range s.Cycles {
 		counts[i] = cs.ECSmall
 	}
-	// Insertion sort: cycle counts are short.
-	for i := 1; i < len(counts); i++ {
-		for j := i; j > 0 && counts[j] < counts[j-1]; j-- {
-			counts[j], counts[j-1] = counts[j-1], counts[j]
-		}
-	}
+	sort.Ints(counts)
 	n := len(counts)
 	if n%2 == 1 {
 		return float64(counts[n/2])

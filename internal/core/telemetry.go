@@ -1,0 +1,148 @@
+package core
+
+import (
+	"time"
+
+	"hcsgc/internal/heap"
+	"hcsgc/internal/telemetry"
+)
+
+// colTelemetry holds the collector's pre-resolved telemetry handles.
+// When telemetry is disabled every handle is nil and `enabled` is false:
+// each instrumentation site then costs one predictable branch (the nil
+// check inside the telemetry method, or the `enabled` guard for sites
+// that would otherwise do real work like walking pages).
+type colTelemetry struct {
+	enabled bool
+	rec     *telemetry.Recorder
+
+	cycles *telemetry.Counter
+	// pause[i] is the STW(i+1) pause-cost histogram in simulated cycles.
+	pause [3]*telemetry.Histogram
+	// relocObjects/relocBytes are indexed by telemetry.RelocByGC/Mutator.
+	relocObjects [2]*telemetry.Counter
+	relocBytes   [2]*telemetry.Counter
+
+	hotmapDensity   *telemetry.Gauge
+	markedBytes     *telemetry.Gauge
+	heapUsedPercent *telemetry.Gauge
+
+	ecPages         [2]*telemetry.Counter // small-ish, medium
+	pagesFreedEmpty *telemetry.Counter
+	barrierSlow     *telemetry.Counter
+	allocStalls     *telemetry.Counter
+	safepointWaitNS *telemetry.Histogram
+}
+
+// Trace tracks: the collector's cycle goroutine emits on track 1; GC
+// workers emit their relocation-drain spans on 2+workerID.
+const collectorTID = 1
+
+// relocSampleMask downsamples EvRelocWin trace instants to 1 in
+// (mask+1): per-object events at relocation rates would otherwise evict
+// every phase span from the ring. Counters remain exact.
+const relocSampleMask = 1023
+
+// Pause-cost histogram buckets, in simulated cycles: 100 .. ~26M.
+var pauseCycleBuckets = telemetry.ExpBuckets(100, 4, 10)
+
+// Safepoint-wait histogram buckets, in wall nanoseconds: 1µs .. ~2s.
+var safepointWaitBuckets = telemetry.ExpBuckets(1e3, 8, 8)
+
+// newColTelemetry resolves all collector metrics against the sink's
+// registry. Every series is registered eagerly so exporters expose the
+// full schema (at zero) from the first scrape.
+func newColTelemetry(sink *telemetry.Sink) colTelemetry {
+	if sink == nil {
+		return colTelemetry{}
+	}
+	reg := sink.Metrics()
+	t := colTelemetry{enabled: true, rec: sink.Recorder()}
+	t.cycles = reg.Counter("hcsgc_gc_cycles_total", "Completed GC cycles.")
+	for i, phase := range []string{"stw1", "stw2", "stw3"} {
+		t.pause[i] = reg.Histogram("hcsgc_pause_cycles",
+			"STW pause cost per cycle, in simulated cycles.",
+			pauseCycleBuckets, "phase", phase)
+	}
+	t.relocObjects[telemetry.RelocByGC] = reg.Counter("hcsgc_reloc_objects_total",
+		"Objects relocated, by relocation-race winner.", "who", "gc")
+	t.relocObjects[telemetry.RelocByMutator] = reg.Counter("hcsgc_reloc_objects_total",
+		"Objects relocated, by relocation-race winner.", "who", "mutator")
+	t.relocBytes[telemetry.RelocByGC] = reg.Counter("hcsgc_reloc_bytes_total",
+		"Bytes relocated, by relocation-race winner.", "who", "gc")
+	t.relocBytes[telemetry.RelocByMutator] = reg.Counter("hcsgc_reloc_bytes_total",
+		"Bytes relocated, by relocation-race winner.", "who", "mutator")
+	t.hotmapDensity = reg.Gauge("hcsgc_page_hotmap_density",
+		"Hot bytes over live bytes across hot-trackable pages at mark end.")
+	t.markedBytes = reg.Gauge("hcsgc_marked_bytes",
+		"Live bytes found by the latest mark.")
+	t.heapUsedPercent = reg.Gauge("hcsgc_heap_used_percent",
+		"Committed heap occupancy after the latest cycle.")
+	t.ecPages[0] = reg.Counter("hcsgc_ec_pages_total",
+		"Pages selected as evacuation candidates.", "class", "small")
+	t.ecPages[1] = reg.Counter("hcsgc_ec_pages_total",
+		"Pages selected as evacuation candidates.", "class", "medium")
+	t.pagesFreedEmpty = reg.Counter("hcsgc_pages_freed_empty_total",
+		"Pages reclaimed without relocation.")
+	t.barrierSlow = reg.Counter("hcsgc_barrier_slow_total",
+		"Load-barrier slow-path entries.")
+	t.allocStalls = reg.Counter("hcsgc_alloc_stalls_total",
+		"Allocation stalls waiting for a GC cycle.")
+	t.safepointWaitNS = reg.Histogram("hcsgc_safepoint_wait_ns",
+		"Wall-clock stop-the-world handshake latency in nanoseconds.",
+		safepointWaitBuckets)
+	return t
+}
+
+// stopTheWorldTimed runs the STW handshake, recording the wall-clock
+// wait until quorum as a safepoint-wait sample attributed to pause.
+func (c *Collector) stopTheWorldTimed(pause telemetry.SpanID) {
+	if !c.tm.enabled {
+		c.sp.stopTheWorld()
+		return
+	}
+	start := time.Now()
+	c.sp.stopTheWorld()
+	wait := uint64(time.Since(start).Nanoseconds())
+	c.tm.rec.Record(telemetry.EvSafepointWait, 0, wait, uint64(pause))
+	c.tm.safepointWaitNS.Observe(float64(wait))
+}
+
+// recordMarkEnd publishes mark-end observations: marked live bytes and
+// the hotmap density over hot-trackable pages subject to this mark. Runs
+// inside STW2 (the page set is frozen) and only when telemetry is on.
+func (c *Collector) recordMarkEnd(cs *CycleStats) {
+	if !c.tm.enabled {
+		return
+	}
+	startSeq := c.startSeq.Load()
+	var hot, live uint64
+	c.heap.LivePages(func(p *heap.Page) {
+		if p.Seq > startSeq || !hotTrackable(p) {
+			return
+		}
+		hot += p.HotBytes()
+		live += p.LiveBytes()
+	})
+	density := 0.0
+	if live > 0 {
+		density = float64(hot) / float64(live)
+	}
+	c.tm.hotmapDensity.Set(density)
+	c.tm.markedBytes.Set(float64(cs.MarkedBytes))
+}
+
+// recordCycleEnd publishes per-cycle counters after stats are appended.
+func (c *Collector) recordCycleEnd(cs *CycleStats) {
+	if !c.tm.enabled {
+		return
+	}
+	c.tm.cycles.Inc()
+	c.tm.pause[0].Observe(float64(cs.Pause1))
+	c.tm.pause[1].Observe(float64(cs.Pause2))
+	c.tm.pause[2].Observe(float64(cs.Pause3))
+	c.tm.ecPages[0].Add(uint64(cs.ECSmall))
+	c.tm.ecPages[1].Add(uint64(cs.ECMedium))
+	c.tm.pagesFreedEmpty.Add(uint64(cs.PagesFreedEmpty))
+	c.tm.heapUsedPercent.Set(cs.HeapUsedAfter)
+}

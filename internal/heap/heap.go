@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"hcsgc/internal/simmem"
+	"hcsgc/internal/telemetry"
 )
 
 // ErrHeapFull is returned when committing a new page would exceed the
@@ -67,6 +68,10 @@ type Heap struct {
 	// PagesAllocated / PagesFreed are lifetime counters for reporting.
 	PagesAllocated atomic.Uint64
 	PagesFreed     atomic.Uint64
+
+	// rec receives page-lifecycle telemetry events; nil (the default)
+	// disables recording at the cost of one branch per transition.
+	rec *telemetry.Recorder
 }
 
 // New builds a heap bound to a memory-hierarchy model (may be nil in unit
@@ -105,6 +110,10 @@ func pageSizeOf(c Class) uint64 {
 
 // Config returns the effective configuration.
 func (h *Heap) Config() Config { return h.cfg }
+
+// SetRecorder attaches a telemetry recorder for page-lifecycle events
+// (allocated, freed). Call before the heap is shared across goroutines.
+func (h *Heap) SetRecorder(rec *telemetry.Recorder) { h.rec = rec }
 
 // Mem returns the memory-hierarchy model (may be nil).
 func (h *Heap) Mem() *simmem.Hierarchy { return h.mem }
@@ -178,6 +187,7 @@ func (h *Heap) installPageForced(size uint64, class Class, backing []uint64) (*P
 	h.mu.Lock()
 	h.live[p] = struct{}{}
 	h.mu.Unlock()
+	h.rec.Record(telemetry.EvPageAlloc, uint32(class), p.start, size)
 	return p, nil
 }
 
@@ -195,6 +205,7 @@ func (h *Heap) FreePage(p *Page) {
 	h.mu.Lock()
 	delete(h.live, p)
 	h.mu.Unlock()
+	h.rec.Record(telemetry.EvPageFreed, uint32(p.class), p.start, p.size)
 }
 
 // DropPage releases the page's backing store (recycling it through the

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Sink bundles the live observability surface of one runtime (or a
+// sequence of runtimes sharing it): the event recorder, the metrics
+// registry, and an optional GC-log renderer. A nil *Sink is the disabled
+// state — its accessors return nil, and nil recorders/metrics are no-ops.
+type Sink struct {
+	rec *Recorder
+	reg *Registry
+
+	mu    sync.Mutex
+	gclog func(io.Writer)
+
+	// dropped mirrors the recorder's loss counters into the registry at
+	// scrape time so exporters can alert on telemetry loss.
+	droppedEvents     *Gauge
+	overwrittenEvents *Gauge
+}
+
+// NewSink builds a sink with default recorder sizing.
+func NewSink() *Sink {
+	reg := NewRegistry()
+	return &Sink{
+		rec: NewRecorder(0, 0),
+		reg: reg,
+		droppedEvents: reg.Gauge("hcsgc_telemetry_dropped_events",
+			"Events lost to recorder shard contention."),
+		overwrittenEvents: reg.Gauge("hcsgc_telemetry_overwritten_events",
+			"Events lost to ring-buffer wrap-around."),
+	}
+}
+
+// Recorder returns the event recorder (nil on a nil sink).
+func (s *Sink) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// Metrics returns the metrics registry (nil on a nil sink).
+func (s *Sink) Metrics() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// SetGCLog installs the renderer behind the /gclog endpoint (typically
+// Collector.WriteGCLog). Nil-safe; the latest runtime wins when several
+// share the sink.
+func (s *Sink) SetGCLog(fn func(io.Writer)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.gclog = fn
+	s.mu.Unlock()
+}
+
+// Handler returns the HTTP mux serving /metrics (Prometheus text),
+// /metrics.json (JSON snapshot), /trace (Chrome trace_event JSON) and
+// /gclog (ZGC-style text log).
+func (s *Sink) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.syncLossGauges()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		s.syncLossGauges()
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteTrace(w, s.rec.Snapshot())
+	})
+	mux.HandleFunc("/gclog", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.gclog
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if fn == nil {
+			fmt.Fprintln(w, "no collector attached")
+			return
+		}
+		fn(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog")
+	})
+	return mux
+}
+
+func (s *Sink) syncLossGauges() {
+	s.droppedEvents.Set(float64(s.rec.Dropped()))
+	s.overwrittenEvents.Set(float64(s.rec.Overwritten()))
+}
+
+// Server is a running telemetry HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP server for the sink on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns once the listener is bound; requests are
+// handled on a background goroutine.
+func (s *Sink) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	if s.Recorder() != nil || s.Metrics() != nil {
+		t.Error("nil sink must hand out nil components")
+	}
+	s.SetGCLog(func(io.Writer) {})
+	s.Recorder().Record(EvPageAlloc, 0, 0, 0)
+	s.Metrics().Counter("x", "").Inc()
+}
+
+func TestSinkEndpoints(t *testing.T) {
+	sink := NewSink()
+	sink.Metrics().Counter("hcsgc_gc_cycles_total", "Cycles.").Add(2)
+	sink.Recorder().BeginSpan(SpanMark, 1)
+	sink.Recorder().EndSpan(SpanMark, 1)
+	sink.SetGCLog(func(w io.Writer) { io.WriteString(w, "[gc] hello\n") })
+
+	srv := httptest.NewServer(sink.Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(metrics, "hcsgc_gc_cycles_total 2") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "hcsgc_telemetry_dropped_events") {
+		t.Errorf("/metrics missing loss gauges:\n%s", metrics)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+
+	jsonBody, _ := get("/metrics.json")
+	var fams []map[string]any
+	if err := json.Unmarshal([]byte(jsonBody), &fams); err != nil {
+		t.Errorf("/metrics.json does not parse: %v", err)
+	}
+
+	traceBody, _ := get("/trace")
+	var tf TraceFile
+	if err := json.Unmarshal([]byte(traceBody), &tf); err != nil {
+		t.Fatalf("/trace does not parse: %v", err)
+	}
+	if len(tf.TraceEvents) != 2 || tf.TraceEvents[0].Name != "mark" {
+		t.Errorf("unexpected trace events: %+v", tf.TraceEvents)
+	}
+
+	gclog, _ := get("/gclog")
+	if !strings.Contains(gclog, "[gc] hello") {
+		t.Errorf("/gclog = %q", gclog)
+	}
+
+	index, _ := get("/")
+	if !strings.Contains(index, "/metrics") {
+		t.Errorf("index = %q", index)
+	}
+}
+
+func TestSinkServe(t *testing.T) {
+	sink := NewSink()
+	srv, err := sink.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

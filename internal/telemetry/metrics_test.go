@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Add(5)
+	c.Inc()
+	g.Set(1.5)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Error("nil registry must hand out nil metrics")
+	}
+	r.WritePrometheus(&strings.Builder{})
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hcsgc_test_total", "help", "who", "gc")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	if again := reg.Counter("hcsgc_test_total", "help", "who", "gc"); again != c {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	g := reg.Gauge("hcsgc_test_gauge", "help")
+	g.Set(0.25)
+	if g.Value() != 0.25 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := reg.Histogram("hcsgc_test_hist", "help", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 556.5 {
+		t.Fatalf("hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hcsgc_objs_total", "Objects.", "who", "mutator").Add(7)
+	reg.Counter("hcsgc_objs_total", "Objects.", "who", "gc").Add(2)
+	reg.Gauge("hcsgc_density", "Density.").Set(0.5)
+	h := reg.Histogram("hcsgc_pause", "Pauses.", []float64{10, 100}, "phase", "stw1")
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE hcsgc_objs_total counter",
+		`hcsgc_objs_total{who="gc"} 2`,
+		`hcsgc_objs_total{who="mutator"} 7`,
+		"# TYPE hcsgc_density gauge",
+		"hcsgc_density 0.5",
+		"# TYPE hcsgc_pause histogram",
+		`hcsgc_pause_bucket{phase="stw1",le="10"} 1`,
+		`hcsgc_pause_bucket{phase="stw1",le="100"} 2`,
+		`hcsgc_pause_bucket{phase="stw1",le="+Inf"} 3`,
+		`hcsgc_pause_sum{phase="stw1"} 5055`,
+		`hcsgc_pause_count{phase="stw1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Each family header must appear exactly once even with many series.
+	if strings.Count(out, "# TYPE hcsgc_objs_total") != 1 {
+		t.Error("family TYPE header duplicated")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hcsgc_cycles_total", "Cycles.").Add(3)
+	reg.Histogram("hcsgc_wait", "Waits.", []float64{1}).Observe(2)
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name   string `json:"name"`
+		Type   string `json:"type"`
+		Series []struct {
+			Value   any               `json:"value"`
+			Buckets map[string]uint64 `json:"buckets"`
+			Count   *uint64           `json:"count"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &fams); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v\n%s", err, b.String())
+	}
+	if len(fams) != 2 || fams[0].Name != "hcsgc_cycles_total" {
+		t.Fatalf("unexpected families: %+v", fams)
+	}
+	if v, ok := fams[0].Series[0].Value.(float64); !ok || v != 3 {
+		t.Fatalf("counter value = %v", fams[0].Series[0].Value)
+	}
+	if fams[1].Series[0].Buckets["+Inf"] != 1 || *fams[1].Series[0].Count != 1 {
+		t.Fatalf("histogram snapshot wrong: %+v", fams[1].Series[0])
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(100, 10, 3)
+	want := []float64{100, 1000, 10000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteTraceSpans(t *testing.T) {
+	r := NewRecorder(1, 64)
+	r.BeginSpan(SpanCycle, 1)
+	r.BeginSpan(SpanMark, 1)
+	r.EndSpan(SpanMark, 1)
+	r.BeginSpan(SpanRelocate, 2)
+	r.EndSpan(SpanRelocate, 2)
+	r.EndSpan(SpanCycle, 1)
+	r.Record(EvSafepointWait, 0, 1500, uint64(SpanPause1))
+	r.Record(EvPageAlloc, 1, 0x200000, 1<<21)
+	r.Record(EvRelocWin, RelocByMutator, 0x200040, 24)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace does not parse as trace_event JSON: %v", err)
+	}
+
+	// Every B must have a matching E on the same (name, tid) track.
+	open := map[[2]any]int{}
+	for _, ev := range tf.TraceEvents {
+		key := [2]any{ev.Name, ev.TID}
+		switch ev.Ph {
+		case "B":
+			open[key]++
+		case "E":
+			open[key]--
+			if open[key] < 0 {
+				t.Fatalf("E without B for %v", key)
+			}
+		}
+	}
+	for key, n := range open {
+		if n != 0 {
+			t.Errorf("unbalanced span %v: %d left open", key, n)
+		}
+	}
+
+	names := map[string][]string{}
+	for _, ev := range tf.TraceEvents {
+		names[ev.Name] = append(names[ev.Name], ev.Ph)
+	}
+	for _, span := range []string{"cycle", "mark", "relocate"} {
+		phs := names[span]
+		if len(phs) != 2 || phs[0] != "B" || phs[1] != "E" {
+			t.Errorf("span %q events = %v, want [B E]", span, phs)
+		}
+	}
+	if phs := names["safepoint_wait"]; len(phs) != 1 || phs[0] != "X" {
+		t.Errorf("safepoint_wait events = %v, want one X", phs)
+	}
+	if phs := names["page_alloc"]; len(phs) != 1 || phs[0] != "i" {
+		t.Errorf("page_alloc events = %v, want one instant", phs)
+	}
+	if phs := names["reloc_win"]; len(phs) != 1 || phs[0] != "i" {
+		t.Errorf("reloc_win events = %v, want one instant", phs)
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "reloc_win" && ev.Args["who"] != "mutator" {
+			t.Errorf("reloc_win who = %v, want mutator", ev.Args["who"])
+		}
+	}
+}

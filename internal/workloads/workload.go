@@ -40,6 +40,9 @@ type RunConfig struct {
 	MemConfig *simmem.HierarchyConfig
 	// DisableMem turns the cache model off (functional tests only).
 	DisableMem bool
+	// Telemetry attaches a live observability sink to the run's runtime
+	// (nil = disabled). Shared across runs, its metrics accumulate.
+	Telemetry *hcsgc.TelemetrySink
 }
 
 func (c RunConfig) scale(def float64) float64 {
@@ -117,6 +120,7 @@ func newEnv(cfg RunConfig, heapDefault uint64, rootSlots int) *env {
 		MemConfig:       cfg.MemConfig,
 		DisableMemModel: cfg.DisableMem,
 		StartDriver:     true,
+		Telemetry:       cfg.Telemetry,
 	})
 	return &env{rt: rt, m: rt.NewMutator(rootSlots), cfg: cfg}
 }
