@@ -90,6 +90,44 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkLocalityOverhead measures the cost of the locality profiler on
+// a representative workload run: "off" is a nil profiler — every access
+// site reduces to one predictable nil check, the same discipline (and
+// therefore the same baseline) as BenchmarkTelemetryOverhead's "off" mode.
+// "shift4" attaches a live profiler sampling every access (the burst is
+// clamped to the period, so shifts <= 8 are exhaustive); "shift12" samples
+// one 256-access burst per 4096 accesses (1/16), the low-overhead setting.
+func BenchmarkLocalityOverhead(b *testing.B) {
+	w, err := workloads.Get("fig4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	knobs := bench.KnobsFor(4)
+	for _, mode := range []struct {
+		name string
+		prof func() *hcsgc.LocalityProfiler
+	}{
+		{"off", func() *hcsgc.LocalityProfiler { return nil }},
+		{"shift4", func() *hcsgc.LocalityProfiler {
+			return hcsgc.NewLocalityProfiler(hcsgc.LocalityConfig{SamplePeriodShift: 4})
+		}},
+		{"shift12", func() *hcsgc.LocalityProfiler {
+			return hcsgc.NewLocalityProfiler(hcsgc.LocalityConfig{SamplePeriodShift: 12})
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Run(workloads.RunConfig{
+					Knobs:    knobs,
+					Seed:     int64(i + 1),
+					Scale:    benchScale,
+					Locality: mode.prof(),
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkTable1PageAlloc measures the page allocator underlying the
 // Table 1 size classes.
 func BenchmarkTable1PageAlloc(b *testing.B) {

@@ -33,7 +33,11 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		ablate  = flag.String("ablate", "", "run an ablation sweep instead: "+strings.Join(bench.AblationNames(), ", "))
-		telAddr = flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics, /metrics.json, /trace, /gclog)")
+		telAddr = flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics, /metrics.json, /trace, /gclog, /locality)")
+
+		locMode  = flag.Bool("locality", false, "run a locality A/B report instead of the timing sweep (-configs picks base,test; default 0,16)")
+		locShift = flag.Uint("locality-shift", 4, "locality sampling knob: one burst per 2^shift accesses")
+		locJSON  = flag.String("locality-json", "", "also write the locality A/B report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -69,6 +73,13 @@ func main() {
 			os.Exit(1)
 		}
 		bench.WriteAblation(os.Stdout, &res)
+		return
+	}
+	if *locMode {
+		if err := runLocality(*exp, *runs, *scale, *seed, *configs, *locShift, *locJSON, *quiet, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: locality: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *exp == "" {
@@ -150,6 +161,50 @@ func runOne(id string, runs int, scale float64, seed int64, configs string, quie
 	bench.WriteReport(os.Stdout, &res)
 	if csvFile != nil {
 		bench.WriteCSV(csvFile, &res)
+	}
+	return nil
+}
+
+// runLocality runs the -locality A/B mode: the experiment's workload under
+// a baseline and a test configuration with the sampling profiler attached,
+// printing the side-by-side report and optionally writing the JSON artifact.
+// With -telemetry-addr, the in-flight run's profiler serves on /locality.
+func runLocality(exp string, runs int, scale float64, seed int64, configs string, shift uint, jsonPath string, quiet bool, sink *hcsgc.TelemetrySink) error {
+	if exp == "" || exp == "all" {
+		exp = "fig4"
+	}
+	base, test := 0, 16 // ZGC baseline vs H+CP+cc1+lazy (COLDPAGE+LAZYRELOCATE)
+	if configs != "" {
+		ids, err := parseConfigs(configs)
+		if err != nil {
+			return err
+		}
+		if len(ids) != 2 {
+			return fmt.Errorf("-locality needs exactly two config ids (base,test), got %d", len(ids))
+		}
+		base, test = ids[0], ids[1]
+	}
+	progress := bench.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	ab, err := bench.RunLocalityAB(exp, runs, scale, seed, base, test, shift, sink, progress)
+	if err != nil {
+		return err
+	}
+	if err := bench.ValidateLocalityAB(ab); err != nil {
+		return err
+	}
+	bench.WriteLocalityReport(os.Stdout, ab)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteLocalityJSON(f, ab); err != nil {
+			return err
+		}
 	}
 	return nil
 }

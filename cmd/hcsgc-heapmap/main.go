@@ -2,7 +2,8 @@
 // population with a hot subset, runs GC cycles under a chosen
 // configuration, and prints the GC log plus an ASCII heap map. Under
 // COLDPAGE + COLDCONFIDENCE the map shows hot-dense ('+') and cold-dense
-// ('#') pages separating.
+// ('#') pages separating, and the segregation-purity metric printed with
+// each map quantifies it (1.0 = every page all-hot or all-cold).
 package main
 
 import (
@@ -20,13 +21,14 @@ func main() {
 		hotFrac  = flag.Int("hot", 5, "one object in N is hot")
 		cycles   = flag.Int("cycles", 3, "GC cycles to run")
 		coldpage = flag.Bool("coldpage", true, "enable COLDPAGE+HOTNESS+COLDCONFIDENCE=1")
+		every    = flag.Bool("every", false, "print the heap map after every GC cycle, not just the last")
 	)
 	flag.Parse()
-	heapmap(os.Stdout, *n, *hotFrac, *cycles, *coldpage)
+	heapmap(os.Stdout, *n, *hotFrac, *cycles, *coldpage, *every)
 }
 
-// heapmap runs the visualisation, writing the GC log and heap map to w.
-func heapmap(w io.Writer, n, hotFrac, cycles int, coldpage bool) {
+// heapmap runs the visualisation, writing the GC log and heap map(s) to w.
+func heapmap(w io.Writer, n, hotFrac, cycles int, coldpage, every bool) {
 	knobs := hcsgc.Knobs{}
 	if coldpage {
 		knobs = hcsgc.Knobs{Hotness: true, ColdPage: true, ColdConfidence: 1.0}
@@ -55,10 +57,26 @@ func heapmap(w io.Writer, n, hotFrac, cycles int, coldpage bool) {
 			m.LoadRef(m.LoadRoot(0), i)
 		}
 		m.RequestGC()
+		if every {
+			fmt.Fprintf(w, "=== heap map after GC(%d) ===\n", cyc+1)
+			writeMap(w, rt)
+			fmt.Fprintln(w)
+		}
 	}
 
 	fmt.Fprintf(w, "=== GC log (%v) ===\n", knobs)
 	rt.Collector.WriteGCLog(w)
-	fmt.Fprintf(w, "\n=== heap map ===\n")
+	if !every {
+		fmt.Fprintf(w, "\n=== heap map ===\n")
+		writeMap(w, rt)
+	}
+}
+
+// writeMap prints the ASCII map plus the segregation-purity metric over
+// the hot-trackable (small/tiny) live pages.
+func writeMap(w io.Writer, rt *hcsgc.Runtime) {
 	rt.Heap.WriteHeapMap(w)
+	seg := rt.Heap.SegregationStats(^uint64(0))
+	fmt.Fprintf(w, "segregation purity: %.4f (%d pages, %d live bytes)\n",
+		seg.Purity(), seg.Pages, seg.LiveBytes)
 }

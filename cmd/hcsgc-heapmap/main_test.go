@@ -1,16 +1,19 @@
 package main
 
 import (
+	"fmt"
+	"regexp"
 	"strings"
 	"testing"
 )
 
 // TestHeapmapSmoke runs the heapmap guts with a tiny population under
-// both configurations and asserts non-empty, well-formed output.
+// both configurations and asserts non-empty, well-formed output including
+// the segregation-purity line.
 func TestHeapmapSmoke(t *testing.T) {
 	for _, coldpage := range []bool{false, true} {
 		var b strings.Builder
-		heapmap(&b, 5000, 5, 2, coldpage)
+		heapmap(&b, 5000, 5, 2, coldpage, false)
 		out := b.String()
 		if out == "" {
 			t.Fatalf("coldpage=%v: no output", coldpage)
@@ -21,10 +24,40 @@ func TestHeapmapSmoke(t *testing.T) {
 			"[gc] totals:",
 			"=== heap map ===",
 			"heap:",
+			"segregation purity:",
 		} {
 			if !strings.Contains(out, want) {
 				t.Errorf("coldpage=%v: output missing %q", coldpage, want)
 			}
 		}
+		m := regexp.MustCompile(`segregation purity: (\d+\.\d+)`).FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("coldpage=%v: purity line not found:\n%s", coldpage, out)
+		}
+		var p float64
+		fmt.Sscanf(m[1], "%f", &p)
+		if p < 0 || p > 1 {
+			t.Errorf("coldpage=%v: purity %v outside [0,1]", coldpage, p)
+		}
+	}
+}
+
+// TestHeapmapEvery checks -every prints one map (with purity) per GC
+// cycle and drops the trailing duplicate.
+func TestHeapmapEvery(t *testing.T) {
+	var b strings.Builder
+	heapmap(&b, 5000, 5, 3, true, true)
+	out := b.String()
+	for cyc := 1; cyc <= 3; cyc++ {
+		want := fmt.Sprintf("=== heap map after GC(%d) ===", cyc)
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "=== heap map ===") {
+		t.Error("-every must replace the final map, not duplicate it")
+	}
+	if got := strings.Count(out, "segregation purity:"); got != 3 {
+		t.Errorf("want 3 purity lines, got %d:\n%s", got, out)
 	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"hcsgc/internal/core"
 	"hcsgc/internal/heap"
+	"hcsgc/internal/locality"
 	"hcsgc/internal/machine"
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
@@ -57,12 +58,28 @@ type (
 	// TelemetrySink is the live observability surface: event recorder,
 	// metrics registry, and HTTP exporters (see internal/telemetry).
 	TelemetrySink = telemetry.Sink
+	// LocalityProfiler samples the mutator access stream for reuse
+	// distance, stream coverage, page entropy and segregation purity
+	// (see internal/locality).
+	LocalityProfiler = locality.Profiler
+	// LocalityConfig tunes the locality profiler.
+	LocalityConfig = locality.Config
+	// LocalityReport is a locality-profiler snapshot.
+	LocalityReport = locality.Report
+	// LocalityStats is one interval's derived locality measurements.
+	LocalityStats = locality.Stats
 )
 
 // NewTelemetrySink builds an enabled telemetry sink. Pass it via
 // Options.Telemetry (several runtimes may share one sink; its metrics
 // then accumulate across them) and serve it with Sink.Serve.
 func NewTelemetrySink() *TelemetrySink { return telemetry.NewSink() }
+
+// NewLocalityProfiler builds an enabled locality profiler. Pass it via
+// Options.Locality; when Options.Telemetry is also set the runtime binds
+// the profiler's metrics into the sink's registry and serves its report
+// on the sink's /locality endpoint.
+func NewLocalityProfiler(cfg LocalityConfig) *LocalityProfiler { return locality.New(cfg) }
 
 // NullRef is the null reference.
 const NullRef = heap.NullRef
@@ -106,6 +123,9 @@ type Options struct {
 	// Telemetry attaches a live observability sink (nil = disabled; the
 	// disabled instrumentation costs one predictable branch per site).
 	Telemetry *TelemetrySink
+	// Locality attaches a sampling locality profiler (nil = disabled;
+	// each mutator access site then costs one predictable branch).
+	Locality *LocalityProfiler
 }
 
 // Runtime bundles the full system.
@@ -148,11 +168,17 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		TriggerPercent: opts.TriggerPercent,
 		EvacThreshold:  opts.EvacThreshold,
 		Telemetry:      opts.Telemetry,
+		Locality:       opts.Locality,
 	})
 	if err != nil {
 		return nil, err
 	}
 	opts.Telemetry.SetGCLog(col.WriteGCLog)
+	if opts.Locality != nil && opts.Telemetry != nil {
+		opts.Locality.BindTelemetry(opts.Telemetry.Metrics(), opts.Telemetry.Recorder())
+		prof := opts.Locality
+		opts.Telemetry.SetLocality(func() any { return prof.Report() })
+	}
 	mach := opts.Machine
 	if mach.Cores == 0 {
 		mach = LaptopMachine

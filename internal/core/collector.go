@@ -249,6 +249,7 @@ func (c *Collector) runCycle(reason string) {
 	cs.Pause2 = c.endPauseAccounting(pause2)
 	cs.MarkedBytes = c.totalMarkedBytes()
 	c.recordMarkEnd(cs)
+	c.recordSegregation(cs)
 	c.tm.rec.EndSpan(telemetry.SpanPause2, collectorTID)
 	c.sp.resumeTheWorld()
 
@@ -290,6 +291,7 @@ func (c *Collector) runCycle(reason string) {
 	c.cycles.Add(1)
 	c.stats.append(cs)
 	c.recordCycleEnd(cs)
+	c.cfg.Locality.OnCycle(cs.Seq, cs.SegregationPurity)
 	c.tm.rec.EndSpan(telemetry.SpanCycle, collectorTID)
 	if c.cfg.Knobs.AutoTune {
 		c.autoTune()

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"hcsgc/internal/locality"
 	"hcsgc/internal/telemetry"
 )
 
@@ -135,6 +136,11 @@ type Config struct {
 	// Telemetry is the optional observability sink. Nil disables all
 	// instrumentation (each site reduces to one predictable branch).
 	Telemetry *telemetry.Sink
+	// Locality is the optional sampling locality profiler. Nil disables
+	// it (each mutator access site then costs one predictable branch);
+	// when set, every mutator gets a probe and the collector snapshots
+	// the profiler at each cycle boundary.
+	Locality *locality.Profiler
 }
 
 func (c Config) withDefaults() Config {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"hcsgc/internal/heap"
+	"hcsgc/internal/locality"
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
 )
@@ -35,6 +36,11 @@ type Mutator struct {
 	// markBuf is the thread-local mark stack flushed to the GC (§2 fn 2).
 	markBuf []uint64
 
+	// probe is the locality profiler's per-mutator sampling front-end;
+	// nil when profiling is off, making each access site one predictable
+	// branch (the nil check inside Probe.Access).
+	probe *locality.Probe
+
 	// extra accumulates non-memory cycle costs (barrier checks, hotmap
 	// CASes, allocation bookkeeping). Atomic: the runtime ledger reads it
 	// while the mutator runs.
@@ -54,6 +60,7 @@ func (c *Collector) NewMutator(rootSlots int) *Mutator {
 	if c.heap.Mem() != nil {
 		m.core = c.heap.Mem().NewCore()
 	}
+	m.probe = c.cfg.Locality.NewProbe()
 	m.ctx = &relocCtx{c: c, core: m.core, byMutator: true, mutator: m}
 	c.sp.register()
 	c.mutMu.Lock()
@@ -255,6 +262,7 @@ func (m *Mutator) LoadRoot(i int) heap.Ref {
 // applying the load barrier and self-healing the slot.
 func (m *Mutator) LoadRef(obj heap.Ref, i int) heap.Ref {
 	slot := objmodel.FieldAddr(obj.Addr(), i)
+	m.probe.Access(slot)
 	raw := heap.Ref(m.c.heap.LoadWord(m.core, slot))
 	m.extra.Add(m.c.cfg.Costs.BarrierFast)
 	if raw.IsNull() || raw.Color() == m.c.Good() {
@@ -272,21 +280,28 @@ func (m *Mutator) StoreRef(obj heap.Ref, i int, val heap.Ref) {
 	if !val.IsNull() && val.Color() != m.c.Good() {
 		panic(fmt.Sprintf("core: storing stale reference %v (good is %v); references must not be held across safepoints", val, m.c.Good()))
 	}
-	m.c.heap.StoreWord(m.core, objmodel.FieldAddr(obj.Addr(), i), uint64(val))
+	slot := objmodel.FieldAddr(obj.Addr(), i)
+	m.probe.Access(slot)
+	m.c.heap.StoreWord(m.core, slot, uint64(val))
 }
 
 // LoadField loads the data word in field i of obj.
 func (m *Mutator) LoadField(obj heap.Ref, i int) uint64 {
-	return m.c.heap.LoadWord(m.core, objmodel.FieldAddr(obj.Addr(), i))
+	slot := objmodel.FieldAddr(obj.Addr(), i)
+	m.probe.Access(slot)
+	return m.c.heap.LoadWord(m.core, slot)
 }
 
 // StoreField stores a data word into field i of obj.
 func (m *Mutator) StoreField(obj heap.Ref, i int, v uint64) {
-	m.c.heap.StoreWord(m.core, objmodel.FieldAddr(obj.Addr(), i), v)
+	slot := objmodel.FieldAddr(obj.Addr(), i)
+	m.probe.Access(slot)
+	m.c.heap.StoreWord(m.core, slot, v)
 }
 
 // ArrayLen returns the element count of the array obj.
 func (m *Mutator) ArrayLen(obj heap.Ref) int {
+	m.probe.Access(obj.Addr())
 	return objmodel.ArrayLen(m.c.heap.LoadWord(m.core, obj.Addr()))
 }
 

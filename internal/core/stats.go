@@ -24,6 +24,12 @@ type CycleStats struct {
 	Pause1, Pause2, Pause3 uint64
 	// HeapUsedBefore/After are occupancy percentages around the cycle.
 	HeapUsedBefore, HeapUsedAfter float64
+	// SegregationPurity is the live-bytes-weighted hot/cold segregation
+	// purity over hot-trackable pages at mark end (-1 when not measured:
+	// neither telemetry nor the locality profiler was attached).
+	SegregationPurity float64
+	// SegregatedPages is the number of pages the purity was computed over.
+	SegregatedPages int
 }
 
 // statsLog accumulates per-cycle records and global relocation counters.

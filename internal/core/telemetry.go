@@ -132,6 +132,20 @@ func (c *Collector) recordMarkEnd(cs *CycleStats) {
 	c.tm.markedBytes.Set(float64(cs.MarkedBytes))
 }
 
+// recordSegregation computes the hot/cold segregation purity at mark end
+// (inside STW2, while the page set is frozen and the hotmap is fresh) for
+// the locality profiler and the per-cycle stats. Skipped — one predictable
+// branch — when neither telemetry nor the locality profiler is attached.
+func (c *Collector) recordSegregation(cs *CycleStats) {
+	if !c.tm.enabled && c.cfg.Locality == nil {
+		cs.SegregationPurity = -1
+		return
+	}
+	seg := c.heap.SegregationStats(c.startSeq.Load())
+	cs.SegregationPurity = seg.Purity()
+	cs.SegregatedPages = seg.Pages
+}
+
 // recordCycleEnd publishes per-cycle counters after stats are appended.
 func (c *Collector) recordCycleEnd(cs *CycleStats) {
 	if !c.tm.enabled {

@@ -139,6 +139,20 @@ func (p *Page) AllocRaw(size uint64) uint64 {
 // whether the space was reclaimed.
 func (p *Page) UndoAlloc(addr, size uint64) bool {
 	size = (size + WordSize - 1) &^ uint64(WordSize-1)
+	if p.top.Load() != addr+size {
+		return false
+	}
+	// Scrub the discarded copy before handing the space back: allocation
+	// writes only the object header and relies on page memory being zero
+	// (fields start as null refs), so the region must not keep the loser
+	// copy's stale reference words. The copy is still private here — its
+	// address lost the forwarding race and was never published — whereas
+	// after the CAS below a concurrent AllocRaw may reuse the region
+	// immediately.
+	base := p.WordIndex(addr)
+	for i := uint64(0); i < size/WordSize; i++ {
+		p.storeWord(base+i, 0)
+	}
 	return p.top.CompareAndSwap(addr+size, addr)
 }
 

@@ -1,0 +1,110 @@
+package locality
+
+// reuseTracker computes exact LRU stack distances (Mattson reuse
+// distances) over a sliding window of the most recent `window` profiled
+// accesses, in units of distinct cache lines. It is Olken's algorithm with
+// bounded memory: a ring buffer records the line at each recent position, a
+// hash map records each line's latest position, and a Fenwick tree over
+// ring slots counts "latest occurrence" flags so that the number of
+// distinct lines touched between two accesses is a range sum.
+//
+// Reuses farther apart than the window are indistinguishable from first
+// touches; both are reported as cold (distance unknown, beyond window).
+// Memory is O(window) regardless of trace length.
+type reuseTracker struct {
+	window uint64 // power of two
+	// ring[pos%window] is the line (offset by +1; 0 = empty) fed at
+	// absolute position pos.
+	ring []uint64
+	// last maps line+1 -> absolute position of its latest access. Bounded
+	// by window: entries are evicted when their ring slot is overwritten.
+	last map[uint64]uint64
+	// tree is a Fenwick tree over ring slots; slot s holds 1 when the
+	// access recorded there is the latest access to its line.
+	tree []int32
+	pos  uint64 // next absolute position (total accesses fed)
+}
+
+func newReuseTracker(window uint64) *reuseTracker {
+	// Round up to a power of two so slot arithmetic is a mask.
+	w := uint64(1)
+	for w < window {
+		w <<= 1
+	}
+	return &reuseTracker{
+		window: w,
+		ring:   make([]uint64, w),
+		last:   make(map[uint64]uint64, w),
+		tree:   make([]int32, w+1),
+	}
+}
+
+// fenwick add/prefix over ring slots (0-based slot, internal 1-based tree).
+
+func (t *reuseTracker) add(slot uint64, delta int32) {
+	for i := slot + 1; i <= t.window; i += i & (-i) {
+		t.tree[i] += delta
+	}
+}
+
+// prefix returns the number of set flags in slots [0, slot].
+func (t *reuseTracker) prefix(slot uint64) int32 {
+	var s int32
+	for i := slot + 1; i > 0; i -= i & (-i) {
+		s += t.tree[i]
+	}
+	return s
+}
+
+// countBetween returns the number of set flags at ring slots corresponding
+// to absolute positions (a, b) exclusive; requires b-a < window.
+func (t *reuseTracker) countBetween(a, b uint64) uint64 {
+	if b-a <= 1 {
+		return 0
+	}
+	mask := t.window - 1
+	lo, hi := (a+1)&mask, (b-1)&mask
+	if lo <= hi {
+		s := t.prefix(hi)
+		if lo > 0 {
+			s -= t.prefix(lo - 1)
+		}
+		return uint64(s)
+	}
+	// Wrapped range: [lo, window) plus [0, hi].
+	s := t.prefix(t.window-1) + t.prefix(hi)
+	if lo > 0 {
+		s -= t.prefix(lo - 1)
+	}
+	return uint64(s)
+}
+
+// observe feeds one line access and returns its stack distance (number of
+// distinct other lines accessed since the previous access to this line).
+// ok is false for cold accesses: first touches and reuses beyond the
+// window.
+func (t *reuseTracker) observe(line uint64) (dist uint64, ok bool) {
+	key := line + 1
+	slot := t.pos & (t.window - 1)
+
+	// Evict whatever occupied this slot a full window ago.
+	if old := t.ring[slot]; old != 0 {
+		if p, exists := t.last[old]; exists && p == t.pos-t.window {
+			delete(t.last, old)
+			t.add(slot, -1)
+		}
+	}
+
+	if prev, exists := t.last[key]; exists {
+		dist = t.countBetween(prev, t.pos)
+		// The previous position is no longer the line's latest.
+		t.add(prev&(t.window-1), -1)
+		ok = true
+	}
+
+	t.ring[slot] = key
+	t.last[key] = t.pos
+	t.add(slot, 1)
+	t.pos++
+	return dist, ok
+}

@@ -1,0 +1,102 @@
+package simmem
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentSnapshotConservation hammers a Hierarchy from several
+// goroutines (each with its own Core, as the runtime does) while another
+// goroutine continuously reads per-core and system snapshots. Run under
+// -race. At quiescence the counters must conserve:
+//
+//	loads + stores           == lines demanded
+//	LLCHits + LLCMisses      == Σ per-core L2Misses (every demand L2 miss
+//	                            consults the LLC exactly once; prefetch
+//	                            fills count as Prefills, not hits/misses)
+func TestConcurrentSnapshotConservation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PrefetchDepth = 2 // exercise the prefetch path's shared-LLC locking
+	h := MustNewHierarchy(cfg)
+
+	const (
+		goroutines = 4
+		perG       = 30000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Snapshot reader: system totals must never decrease between reads.
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var prev SystemStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Stats()
+			if s.Loads < prev.Loads || s.Stores < prev.Stores ||
+				s.L2Misses < prev.L2Misses || s.LLCMisses < prev.LLCMisses {
+				t.Errorf("snapshot went backwards: %+v then %+v", prev, s)
+				return
+			}
+			prev = s
+		}
+	}()
+
+	var wantLoads, wantStores atomic.Uint64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			core := h.NewCore()
+			rng := rand.New(rand.NewSource(int64(g + 1)))
+			base := uint64(g+1) << 28
+			for i := 0; i < perG; i++ {
+				// Single-line accesses: mix of sequential (prefetchable)
+				// and random, loads and stores.
+				var addr uint64
+				if i%4 != 3 {
+					addr = base + uint64(i)*LineSize
+				} else {
+					addr = base + uint64(rng.Intn(1<<20))*LineSize
+				}
+				if i%5 == 0 {
+					core.Store(addr, 8)
+					wantStores.Add(1)
+				} else {
+					core.Load(addr, 8)
+					wantLoads.Add(1)
+				}
+				if i%1000 == 0 {
+					core.Stats() // self-snapshot mid-run
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	s := h.Stats()
+	if s.Loads != wantLoads.Load() || s.Stores != wantStores.Load() {
+		t.Errorf("demand counts: got loads=%d stores=%d, want %d/%d",
+			s.Loads, s.Stores, wantLoads.Load(), wantStores.Load())
+	}
+	if got := s.LLCHits + s.LLCMisses; got != s.L2Misses {
+		t.Errorf("LLC conservation: hits(%d)+misses(%d)=%d != ΣL2Misses %d",
+			s.LLCHits, s.LLCMisses, got, s.L2Misses)
+	}
+	if s.L1Misses < s.L2Misses {
+		t.Errorf("L2 saw more demand (%d) than L1 missed (%d)", s.L2Misses, s.L1Misses)
+	}
+	if s.LLCMisses == 0 {
+		t.Error("workload never reached memory; test too small to be meaningful")
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -16,8 +17,9 @@ type Sink struct {
 	rec *Recorder
 	reg *Registry
 
-	mu    sync.Mutex
-	gclog func(io.Writer)
+	mu       sync.Mutex
+	gclog    func(io.Writer)
+	locality func() any
 
 	// dropped mirrors the recorder's loss counters into the registry at
 	// scrape time so exporters can alert on telemetry loss.
@@ -66,9 +68,21 @@ func (s *Sink) SetGCLog(fn func(io.Writer)) {
 	s.mu.Unlock()
 }
 
+// SetLocality installs the snapshot source behind the /locality endpoint
+// (typically a closure over locality.Profiler.Report). The returned value
+// is rendered as JSON. Nil-safe; the latest runtime wins.
+func (s *Sink) SetLocality(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.locality = fn
+	s.mu.Unlock()
+}
+
 // Handler returns the HTTP mux serving /metrics (Prometheus text),
-// /metrics.json (JSON snapshot), /trace (Chrome trace_event JSON) and
-// /gclog (ZGC-style text log).
+// /metrics.json (JSON snapshot), /trace (Chrome trace_event JSON),
+// /gclog (ZGC-style text log) and /locality (locality-profiler report).
 func (s *Sink) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -96,12 +110,25 @@ func (s *Sink) Handler() http.Handler {
 		}
 		fn(w)
 	})
+	mux.HandleFunc("/locality", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.locality
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			io.WriteString(w, "null\n")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fn())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog")
+		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality")
 	})
 	return mux
 }

@@ -42,6 +42,10 @@ const (
 	// wall-clock wait in nanoseconds until all mutators were stopped,
 	// B the SpanID of the pause that requested it.
 	EvSafepointWait
+	// EvCounter records a named time-series sample (rendered as a
+	// Perfetto counter track). Arg is the CounterID, A the value as
+	// math.Float64bits, B the GC cycle sequence it belongs to.
+	EvCounter
 )
 
 // String names the event kind for exporters.
@@ -63,8 +67,35 @@ func (k EventKind) String() string {
 		return "reloc_win"
 	case EvSafepointWait:
 		return "safepoint_wait"
+	case EvCounter:
+		return "counter"
 	default:
 		return "unknown"
+	}
+}
+
+// CounterID names an EvCounter series. The locality profiler emits one
+// sample per counter per GC cycle.
+const (
+	CounterStreamCoverage uint32 = iota + 1
+	CounterSegPurity
+	CounterPageEntropy
+	CounterReuseP50
+)
+
+// CounterName renders a CounterID as its Perfetto track name.
+func CounterName(id uint32) string {
+	switch id {
+	case CounterStreamCoverage:
+		return "locality_stream_coverage"
+	case CounterSegPurity:
+		return "locality_seg_purity"
+	case CounterPageEntropy:
+		return "locality_page_entropy_bits"
+	case CounterReuseP50:
+		return "locality_reuse_p50_lines"
+	default:
+		return "counter"
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // TraceEvent is one entry of the Chrome trace_event format (the JSON
@@ -78,6 +79,14 @@ func BuildTrace(events []Event) TraceFile {
 					"addr":  fmt.Sprintf("%#x", ev.A),
 					"bytes": ev.B,
 				},
+			})
+		case EvCounter:
+			// Ph "C" renders a counter track; Perfetto plots the value
+			// over time. One sample per GC cycle per series.
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: CounterName(ev.Arg), Cat: "locality", Ph: "C",
+				TS: us(ev.TimeNS), PID: tracePID, TID: 1,
+				Args: map[string]any{"value": math.Float64frombits(ev.A)},
 			})
 		case EvRelocWin:
 			who := "gc"

@@ -43,6 +43,10 @@ type RunConfig struct {
 	// Telemetry attaches a live observability sink to the run's runtime
 	// (nil = disabled). Shared across runs, its metrics accumulate.
 	Telemetry *hcsgc.TelemetrySink
+	// Locality attaches a sampling locality profiler to the run's
+	// runtime (nil = disabled). The caller keeps the handle and reads
+	// the report after the run.
+	Locality *hcsgc.LocalityProfiler
 }
 
 func (c RunConfig) scale(def float64) float64 {
@@ -121,6 +125,7 @@ func newEnv(cfg RunConfig, heapDefault uint64, rootSlots int) *env {
 		DisableMemModel: cfg.DisableMem,
 		StartDriver:     true,
 		Telemetry:       cfg.Telemetry,
+		Locality:        cfg.Locality,
 	})
 	return &env{rt: rt, m: rt.NewMutator(rootSlots), cfg: cfg}
 }
