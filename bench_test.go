@@ -33,11 +33,14 @@ func benchmarkFigure(b *testing.B, id string) {
 		b.Run(fmt.Sprintf("config%d", cfg), func(b *testing.B) {
 			var simSecs, llc float64
 			for i := 0; i < b.N; i++ {
-				res := w.Run(workloads.RunConfig{
+				res, err := w.Run(workloads.RunConfig{
 					Knobs: knobs,
 					Seed:  int64(i + 1),
 					Scale: benchScale,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
 				simSecs += res.ExecSeconds
 				llc += float64(res.LLCMisses)
 			}
@@ -79,12 +82,14 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				w.Run(workloads.RunConfig{
+				if _, err := w.Run(workloads.RunConfig{
 					Knobs:     knobs,
 					Seed:      int64(i + 1),
 					Scale:     benchScale,
 					Telemetry: mode.sink(),
-				})
+				}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -117,12 +122,57 @@ func BenchmarkLocalityOverhead(b *testing.B) {
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				w.Run(workloads.RunConfig{
+				if _, err := w.Run(workloads.RunConfig{
 					Knobs:    knobs,
 					Seed:     int64(i + 1),
 					Scale:    benchScale,
 					Locality: mode.prof(),
-				})
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFaultInjectOverhead measures the cost of the fault-injection
+// plane and the STW verifier on a representative workload run: "off" is a
+// nil injector — every injection point reduces to one predictable nil
+// check, the production default and the acceptance bar (within noise of
+// the pre-faultinject baseline). "armed-zero" threads a live injector
+// whose schedule never fires, pricing the per-point decision path;
+// "verify" additionally attaches the STW heap verifier, pricing a full
+// heap walk per pause.
+func BenchmarkFaultInjectOverhead(b *testing.B) {
+	w, err := workloads.Get("fig4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	knobs := bench.KnobsFor(4)
+	for _, mode := range []struct {
+		name string
+		inj  func() *hcsgc.FaultInjector
+		ver  func() *hcsgc.HeapVerifier
+	}{
+		{"off", func() *hcsgc.FaultInjector { return nil }, func() *hcsgc.HeapVerifier { return nil }},
+		{"armed-zero", func() *hcsgc.FaultInjector {
+			return hcsgc.NewFaultInjector(hcsgc.FaultConfig{})
+		}, func() *hcsgc.HeapVerifier { return nil }},
+		{"verify", func() *hcsgc.FaultInjector {
+			return hcsgc.NewFaultInjector(hcsgc.FaultConfig{})
+		}, hcsgc.NewHeapVerifier},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(workloads.RunConfig{
+					Knobs:         knobs,
+					Seed:          int64(i + 1),
+					Scale:         benchScale,
+					FaultInjector: mode.inj(),
+					Verifier:      mode.ver(),
+				}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -148,7 +198,9 @@ func BenchmarkTable2ConfigSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := bench.AllConfigs()[i%bench.NumConfigs]
-		w.Run(workloads.RunConfig{Knobs: bench.KnobsFor(cfg), Seed: 1, Scale: 0.005})
+		if _, err := w.Run(workloads.RunConfig{Knobs: bench.KnobsFor(cfg), Seed: 1, Scale: 0.005}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@
 //	hcsgc-bench -exp all                 # everything (takes a while)
 //	hcsgc-bench -exp fig9 -runs 30 -scale 0.06 -configs 0,2,3,4
 //	hcsgc-bench -exp fig4 -csv out.csv   # machine-readable output
+//	hcsgc-bench -chaos -chaos-runs 20    # fault-injection soak, verifier on
 //
 // Results are printed as text reports following the paper's §4.2 layout.
 package main
@@ -38,6 +39,11 @@ func main() {
 		locMode  = flag.Bool("locality", false, "run a locality A/B report instead of the timing sweep (-configs picks base,test; default 0,16)")
 		locShift = flag.Uint("locality-shift", 4, "locality sampling knob: one burst per 2^shift accesses")
 		locJSON  = flag.String("locality-json", "", "also write the locality A/B report as JSON to this file")
+
+		chaosMode = flag.Bool("chaos", false, "run a chaos soak instead: seeded fault schedules with the STW heap verifier on")
+		chaosSeed = flag.Int64("chaos-seed", 1, "base seed; run r uses seed chaos-seed+r (replay a failure with its printed seed and -chaos-runs 1)")
+		chaosRuns = flag.Int("chaos-runs", 0, "soak runs (0 = 20)")
+		chaosOut  = flag.String("chaos-out", "", "also write the soak report (and failed runs' gclogs) to this file")
 	)
 	flag.Parse()
 
@@ -78,6 +84,17 @@ func main() {
 	if *locMode {
 		if err := runLocality(*exp, *runs, *scale, *seed, *configs, *locShift, *locJSON, *quiet, sink); err != nil {
 			fmt.Fprintf(os.Stderr, "hcsgc-bench: locality: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosMode {
+		failed, err := runChaosSoak(*exp, *chaosRuns, *scale, *chaosSeed, *chaosOut, *quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		if failed {
 			os.Exit(1)
 		}
 		return
@@ -207,6 +224,41 @@ func runLocality(exp string, runs int, scale float64, seed int64, configs string
 		}
 	}
 	return nil
+}
+
+// runChaosSoak runs the -chaos mode: a seed sweep of randomized fault
+// schedules with the STW heap verifier attached to every run. The report
+// leads each failure with the reproducer command line; gclogs of failed
+// runs go to the -chaos-out artifact. Returns failed=true when any seed
+// hit a verifier violation or an unexpected error (graceful OOM is not a
+// failure).
+func runChaosSoak(exp string, runs int, scale float64, baseSeed int64, outPath string, quiet bool) (failed bool, err error) {
+	if exp == "" || exp == "all" {
+		exp = "fig4"
+	}
+	progress := bench.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	res, err := bench.RunChaos(exp, runs, scale, baseSeed, progress)
+	if err != nil {
+		return false, err
+	}
+	bench.WriteChaosReport(os.Stdout, res)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return false, err
+		}
+		defer f.Close()
+		bench.WriteChaosReport(f, res)
+		for _, r := range res.Runs {
+			if r.GCLog != "" {
+				fmt.Fprintf(f, "\n=== gclog seed %d ===\n%s", r.Seed, r.GCLog)
+			}
+		}
+	}
+	return res.Failures > 0, nil
 }
 
 func parseConfigs(s string) ([]int, error) {

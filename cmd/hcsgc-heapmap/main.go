@@ -22,20 +22,26 @@ func main() {
 		cycles   = flag.Int("cycles", 3, "GC cycles to run")
 		coldpage = flag.Bool("coldpage", true, "enable COLDPAGE+HOTNESS+COLDCONFIDENCE=1")
 		every    = flag.Bool("every", false, "print the heap map after every GC cycle, not just the last")
+		verify   = flag.Bool("verify", false, "attach the STW heap verifier; maps flag pages with violations")
 	)
 	flag.Parse()
-	heapmap(os.Stdout, *n, *hotFrac, *cycles, *coldpage, *every)
+	heapmap(os.Stdout, *n, *hotFrac, *cycles, *coldpage, *every, *verify)
 }
 
 // heapmap runs the visualisation, writing the GC log and heap map(s) to w.
-func heapmap(w io.Writer, n, hotFrac, cycles int, coldpage, every bool) {
+func heapmap(w io.Writer, n, hotFrac, cycles int, coldpage, every, verify bool) {
 	knobs := hcsgc.Knobs{}
 	if coldpage {
 		knobs = hcsgc.Knobs{Hotness: true, ColdPage: true, ColdConfidence: 1.0}
 	}
+	var v *hcsgc.HeapVerifier
+	if verify {
+		v = hcsgc.NewHeapVerifier()
+	}
 	rt := hcsgc.MustNewRuntime(hcsgc.Options{
 		HeapMaxBytes: 256 << 20,
 		Knobs:        knobs,
+		Verifier:     v,
 	})
 	defer rt.Close()
 	obj := rt.Types.Register("obj", 3, nil)

@@ -13,7 +13,7 @@ import (
 func TestHeapmapSmoke(t *testing.T) {
 	for _, coldpage := range []bool{false, true} {
 		var b strings.Builder
-		heapmap(&b, 5000, 5, 2, coldpage, false)
+		heapmap(&b, 5000, 5, 2, coldpage, false, false)
 		out := b.String()
 		if out == "" {
 			t.Fatalf("coldpage=%v: no output", coldpage)
@@ -46,7 +46,7 @@ func TestHeapmapSmoke(t *testing.T) {
 // cycle and drops the trailing duplicate.
 func TestHeapmapEvery(t *testing.T) {
 	var b strings.Builder
-	heapmap(&b, 5000, 5, 3, true, true)
+	heapmap(&b, 5000, 5, 3, true, true, false)
 	out := b.String()
 	for cyc := 1; cyc <= 3; cyc++ {
 		want := fmt.Sprintf("=== heap map after GC(%d) ===", cyc)
@@ -59,5 +59,26 @@ func TestHeapmapEvery(t *testing.T) {
 	}
 	if got := strings.Count(out, "segregation purity:"); got != 3 {
 		t.Errorf("want 3 purity lines, got %d:\n%s", got, out)
+	}
+}
+
+// TestHeapmapVerify checks -verify attaches the STW verifier: the map
+// reports its pass count, and a healthy run flags no page.
+func TestHeapmapVerify(t *testing.T) {
+	var b strings.Builder
+	heapmap(&b, 5000, 5, 2, true, false, true)
+	out := b.String()
+	m := regexp.MustCompile(`verifier: (\d+) passes, (\d+) violations`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("verifier summary line missing:\n%s", out)
+	}
+	if m[1] == "0" {
+		t.Error("verifier never ran despite GC cycles")
+	}
+	if m[2] != "0" {
+		t.Errorf("healthy run reported %s violations:\n%s", m[2], out)
+	}
+	if strings.Contains(out, "VIOLATIONS") {
+		t.Errorf("healthy run flagged a page:\n%s", out)
 	}
 }

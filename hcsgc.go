@@ -25,8 +25,10 @@ package hcsgc
 
 import (
 	"sync"
+	"time"
 
 	"hcsgc/internal/core"
+	"hcsgc/internal/faultinject"
 	"hcsgc/internal/heap"
 	"hcsgc/internal/locality"
 	"hcsgc/internal/machine"
@@ -68,7 +70,43 @@ type (
 	LocalityReport = locality.Report
 	// LocalityStats is one interval's derived locality measurements.
 	LocalityStats = locality.Stats
+	// FaultInjector is the seeded, deterministic fault-injection plane
+	// (see internal/faultinject). Nil = disarmed, one branch per site.
+	FaultInjector = faultinject.Injector
+	// FaultConfig configures a FaultInjector.
+	FaultConfig = faultinject.Config
+	// HeapVerifier is the opt-in STW heap-invariant verifier
+	// (see internal/heap). Nil = detached, one branch per phase boundary.
+	HeapVerifier = heap.Verifier
+	// HeapViolation is one invariant violation found by the verifier.
+	HeapViolation = heap.Violation
+	// OutOfMemoryError is the structured error returned (or carried by the
+	// panic of the legacy Alloc wrappers) when the allocation-stall retry
+	// budget is exhausted.
+	OutOfMemoryError = core.OutOfMemoryError
 )
+
+// Sentinel errors for errors.Is against allocation failures.
+var (
+	// ErrOutOfMemory is in the chain of every exhausted allocation.
+	ErrOutOfMemory = core.ErrOutOfMemory
+	// ErrHeapFull is the underlying page-commit failure cause.
+	ErrHeapFull = heap.ErrHeapFull
+)
+
+// NewFaultInjector builds an armed injector from a fault configuration.
+// Pass it via Options.FaultInjector.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultinject.New(cfg) }
+
+// RandomFaultConfig derives a bounded randomized fault configuration from a
+// seed — the chaos soak's per-run schedule. The same seed always yields the
+// same configuration and the same injection decisions.
+func RandomFaultConfig(seed int64) FaultConfig { return faultinject.Randomized(seed) }
+
+// NewHeapVerifier builds a heap verifier. Pass it via Options.Verifier;
+// when Options.Telemetry is also set, its counters are bound into the
+// sink's registry as hcsgc_verify_*.
+func NewHeapVerifier() *HeapVerifier { return heap.NewVerifier() }
 
 // NewTelemetrySink builds an enabled telemetry sink. Pass it via
 // Options.Telemetry (several runtimes may share one sink; its metrics
@@ -126,6 +164,20 @@ type Options struct {
 	// Locality attaches a sampling locality profiler (nil = disabled;
 	// each mutator access site then costs one predictable branch).
 	Locality *LocalityProfiler
+	// FaultInjector arms the fault-injection plane (nil = disarmed; each
+	// injection point then costs one predictable branch).
+	FaultInjector *FaultInjector
+	// Verifier attaches the STW heap verifier, run at the end of every
+	// pause (nil = detached).
+	Verifier *HeapVerifier
+	// StallRetries bounds the allocation-stall loop: after this many
+	// stall-and-collect attempts the allocator returns ErrOutOfMemory.
+	// 0 = 16.
+	StallRetries int
+	// StallBackoff sleeps (attempt-1)*StallBackoff between stall retries.
+	StallBackoff time.Duration
+	// StallDeadline bounds the stall loop by wall clock; 0 = no deadline.
+	StallDeadline time.Duration
 }
 
 // Runtime bundles the full system.
@@ -158,8 +210,15 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	h := heap.New(heap.Config{
 		MaxBytes:        opts.HeapMaxBytes,
 		EnableTinyClass: opts.Knobs.TinyPages,
+		Injector:        opts.FaultInjector,
 	}, mem)
 	h.SetRecorder(opts.Telemetry.Recorder())
+	if opts.Verifier != nil {
+		if opts.Telemetry != nil {
+			opts.Verifier.BindTelemetry(opts.Telemetry.Metrics())
+		}
+		h.SetVerifier(opts.Verifier)
+	}
 	types := objmodel.NewRegistry()
 	col, err := core.New(h, types, core.Config{
 		Knobs:          opts.Knobs,
@@ -169,6 +228,10 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		EvacThreshold:  opts.EvacThreshold,
 		Telemetry:      opts.Telemetry,
 		Locality:       opts.Locality,
+		FaultInjector:  opts.FaultInjector,
+		StallRetries:   opts.StallRetries,
+		StallBackoff:   opts.StallBackoff,
+		StallDeadline:  opts.StallDeadline,
 	})
 	if err != nil {
 		return nil, err

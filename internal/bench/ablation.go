@@ -83,7 +83,12 @@ func sample(runs int, scale float64, seed int64, cfg workloads.RunConfig) Ablati
 		c := cfg
 		c.Seed = seed + int64(r)
 		c.Scale = scale
-		res := w.Run(c)
+		res, err := w.Run(c)
+		if err != nil {
+			// Ablation points are advisory: an exhausted run contributes no
+			// sample rather than aborting the whole sweep.
+			continue
+		}
 		times = append(times, res.ExecSeconds)
 		llc += float64(res.LLCMisses)
 	}

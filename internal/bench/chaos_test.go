@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"hcsgc"
+)
+
+// TestChaosSoakShort is a miniature of the CI chaos job: a few seeds of
+// fig4 under randomized fault schedules with the verifier on. Any
+// violation is a real collector bug.
+func TestChaosSoakShort(t *testing.T) {
+	res, err := RunChaos("fig4", 3, 0, 100, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(res.Runs))
+	}
+	for _, r := range res.Runs {
+		if r.Failed() {
+			t.Errorf("seed %d failed: err=%v violations=%v\ngclog:\n%s", r.Seed, r.Err, r.Violations, r.GCLog)
+		}
+		if !r.OOM && r.VerifierRuns == 0 {
+			t.Errorf("seed %d: verifier never ran", r.Seed)
+		}
+	}
+	if res.Failures != 0 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	var b strings.Builder
+	WriteChaosReport(&b, res)
+	if !strings.Contains(b.String(), "3 runs, 0 failures") {
+		t.Fatalf("report: %s", b.String())
+	}
+}
+
+// TestChaosReportCarriesReproducer checks a failed run prints the
+// reproducer command with its seed.
+func TestChaosReportCarriesReproducer(t *testing.T) {
+	res := ChaosResult{
+		Experiment: "fig4",
+		Workload:   "synthetic",
+		Failures:   1,
+		Runs: []ChaosRun{{
+			Seed:   42,
+			Config: 4,
+			Faults: "seed=42 fail-commit=0.010",
+			Violations: []hcsgc.HeapViolation{
+				{Check: "stale-ref", Phase: "stw2", Detail: "test"},
+			},
+		}},
+	}
+	var b strings.Builder
+	WriteChaosReport(&b, res)
+	out := b.String()
+	for _, want := range []string{"FAILED seed 42", "-chaos-seed 42", "stale-ref"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

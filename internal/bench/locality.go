@@ -77,13 +77,16 @@ func RunLocalityAB(expID string, runs int, scale float64, seed int64, baseCfg, t
 		var exec float64
 		for run := 0; run < runs; run++ {
 			prof := locality.New(locality.Config{SamplePeriodShift: shift})
-			out := w.Run(workloads.RunConfig{
+			out, err := w.Run(workloads.RunConfig{
 				Knobs:     knobs,
 				Seed:      seed + int64(run),
 				Scale:     scale,
 				Locality:  prof,
 				Telemetry: sink,
 			})
+			if err != nil {
+				return side, fmt.Errorf("locality %s: config %d run %d: %w", expID, cfgID, run, err)
+			}
 			if prev, seen := checks[run]; seen && out.Check != prev {
 				return side, fmt.Errorf(
 					"locality %s: config %d run %d checksum %d != expected %d — GC configuration changed program results",

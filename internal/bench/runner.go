@@ -98,12 +98,15 @@ func Run(spec Spec, progress Progress) (Result, error) {
 		scoreSamples := map[string][]float64{}
 		var loads, l1, llc, cycles, medEC, mutReloc, gcReloc float64
 		for run := 0; run < spec.Runs; run++ {
-			out := w.Run(workloads.RunConfig{
+			out, err := w.Run(workloads.RunConfig{
 				Knobs:     knobs,
 				Seed:      spec.Seed + int64(run),
 				Scale:     spec.Scale,
 				Telemetry: spec.Telemetry,
 			})
+			if err != nil {
+				return Result{}, fmt.Errorf("bench %s: config %d run %d: %w", spec.ID, cfgID, run, err)
+			}
 			if prev, seen := res.Checks[run]; seen {
 				if out.Check != prev {
 					return Result{}, fmt.Errorf(

@@ -21,11 +21,14 @@ func run3(t *testing.T, id string, config int, scale float64) float64 {
 	}
 	var sum float64
 	for r := 0; r < 3; r++ {
-		res := w.Run(workloads.RunConfig{
+		res, err := w.Run(workloads.RunConfig{
 			Knobs: KnobsFor(config),
 			Seed:  int64(r + 1),
 			Scale: scale,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		sum += res.ExecSeconds
 	}
 	return sum / 3
@@ -108,12 +111,15 @@ func TestShapeMachineModelDrivesFig6(t *testing.T) {
 	run := func(config int, mach machine.Model) float64 {
 		var sum float64
 		for r := 0; r < 3; r++ {
-			res := w.Run(workloads.RunConfig{
+			res, err := w.Run(workloads.RunConfig{
 				Knobs:   KnobsFor(config),
 				Machine: mach,
 				Seed:    int64(r + 1),
 				Scale:   0.01,
 			})
+			if err != nil {
+				t.Fatal(err)
+			}
 			sum += res.ExecSeconds
 		}
 		return sum / 3

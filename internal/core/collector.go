@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hcsgc/internal/faultinject"
 	"hcsgc/internal/heap"
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
@@ -76,6 +77,7 @@ type Collector struct {
 
 	stats        statsLog
 	tm           colTelemetry
+	inj          *faultinject.Injector
 	relocSample  atomic.Uint64 // sampling cursor for trace reloc_win instants
 	effConf      atomic.Uint64 // effective ColdConfidence (bits of float64), for AutoTune
 	lastTuneMiss float64
@@ -99,6 +101,7 @@ func New(h *heap.Heap, types *objmodel.Registry, cfg Config) (*Collector, error)
 		muts:  make(map[*Mutator]struct{}),
 	}
 	c.tm = newColTelemetry(cfg.Telemetry)
+	c.inj = cfg.FaultInjector
 	c.good.Store(uint64(heap.ColorRemapped))
 	c.phase.Store(uint32(PhaseRelocate))
 	c.setEffConf(cfg.Knobs.ColdConfidence)
@@ -204,6 +207,7 @@ func (c *Collector) runCycle(reason string) {
 	c.pool.setActive(len(c.workers))
 	c.pool.put(rootGrays)
 	cs.Pause1 = c.endPauseAccounting(pause1)
+	c.verifyHeap("stw1")
 	c.tm.rec.EndSpan(telemetry.SpanPause1, collectorTID)
 	c.sp.resumeTheWorld()
 
@@ -250,6 +254,7 @@ func (c *Collector) runCycle(reason string) {
 	cs.MarkedBytes = c.totalMarkedBytes()
 	c.recordMarkEnd(cs)
 	c.recordSegregation(cs)
+	c.verifyHeap("stw2")
 	c.tm.rec.EndSpan(telemetry.SpanPause2, collectorTID)
 	c.sp.resumeTheWorld()
 
@@ -270,6 +275,7 @@ func (c *Collector) runCycle(reason string) {
 		}
 	})
 	cs.Pause3 = c.endPauseAccounting(pause3)
+	c.verifyHeap("stw3")
 	c.tm.rec.EndSpan(telemetry.SpanPause3, collectorTID)
 	c.sp.resumeTheWorld()
 
@@ -340,6 +346,7 @@ func (c *Collector) drainRelocation(cs *CycleStats) {
 // allocated before STW1 are frozen: nothing allocates into them again and
 // their livemaps are authoritative after marking.
 func (c *Collector) retireAllocationPages() {
+	c.inj.At(faultinject.PageRetire, 0)
 	c.forEachMutator(func(m *Mutator) { m.tlab = nil })
 	for _, w := range c.workers {
 		w.ctx.hotPage, w.ctx.coldPage = nil, nil

@@ -12,7 +12,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"hcsgc/internal/faultinject"
 	"hcsgc/internal/locality"
 	"hcsgc/internal/telemetry"
 )
@@ -141,6 +143,24 @@ type Config struct {
 	// when set, every mutator gets a probe and the collector snapshots
 	// the profiler at each cycle boundary.
 	Locality *locality.Profiler
+	// FaultInjector arms the fault-injection plane at the collector's
+	// injection points (relocation race, barrier slow path, safepoint
+	// entry, page retire, driver trigger). Nil — the default — costs one
+	// predictable branch per site. Pass the same injector to the heap via
+	// heap.Config.Injector to arm its sites too.
+	FaultInjector *faultinject.Injector
+
+	// StallRetries bounds the allocation stalls (each triggering a GC
+	// cycle) before an allocation gives up with ErrOutOfMemory. Zero means
+	// 16.
+	StallRetries int
+	// StallBackoff, when non-zero, sleeps attempt*StallBackoff before each
+	// stall-triggered collection after the first, giving concurrent
+	// mutators' in-flight frees a chance to land.
+	StallBackoff time.Duration
+	// StallDeadline, when non-zero, caps the wall-clock time one
+	// allocation may spend stalling regardless of retries left.
+	StallDeadline time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +175,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Costs == (CostModel{}) {
 		c.Costs = DefaultCosts()
+	}
+	if c.StallRetries <= 0 {
+		c.StallRetries = 16
 	}
 	return c
 }

@@ -24,6 +24,9 @@ func (c *Collector) StartDriver() {
 			case <-c.driverStop:
 				return
 			case <-ticker.C:
+				if c.inj.DriverSuppressed() {
+					continue
+				}
 				if c.heap.UsedPercent() >= c.cfg.TriggerPercent {
 					if c.cycleMu.TryLock() {
 						// Re-check under the lock: a stall-triggered cycle

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOutOfMemory is the sentinel for allocation failure after the stall
+// budget is exhausted; match with errors.Is. The concrete error in the
+// chain is an *OutOfMemoryError carrying the occupancy snapshot.
+var ErrOutOfMemory = errors.New("core: out of memory")
+
+// OutOfMemoryError reports an allocation that stalled through its full
+// retry budget without the GC reclaiming enough space. It replaces the old
+// panic("core: out of memory") so heap exhaustion degrades gracefully:
+// callers unwind with errors.Is(err, ErrOutOfMemory) and decide policy
+// themselves. It also unwraps to the final commit failure (heap.ErrHeapFull
+// with occupancy context), so errors.Is works against both sentinels.
+type OutOfMemoryError struct {
+	// Size is the requested allocation in bytes.
+	Size uint64
+	// Attempts is the number of allocation attempts made (stalls + 1).
+	Attempts int
+	// Stalled is the wall-clock time spent in the stall loop.
+	Stalled time.Duration
+	// UsedBytes/MaxBytes snapshot heap occupancy at the moment of failure.
+	UsedBytes, MaxBytes uint64
+	// Cause is the last commit failure observed.
+	Cause error
+}
+
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("core: out of memory: %d-byte allocation failed after %d attempts (%v stalled): heap %d/%d bytes (%.1f%%)",
+		e.Size, e.Attempts, e.Stalled.Round(time.Millisecond), e.UsedBytes, e.MaxBytes,
+		100*float64(e.UsedBytes)/float64(e.MaxBytes))
+}
+
+// Unwrap exposes both the ErrOutOfMemory sentinel and the underlying
+// commit failure to errors.Is/As.
+func (e *OutOfMemoryError) Unwrap() []error {
+	if e.Cause == nil {
+		return []error{ErrOutOfMemory}
+	}
+	return []error{ErrOutOfMemory, e.Cause}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hcsgc/internal/faultinject"
+	"hcsgc/internal/heap"
+	"hcsgc/internal/objmodel"
+)
+
+// faultEnv builds a collector with an armed injector and (optionally) the
+// STW verifier attached. No cache model: fault tests exercise control flow,
+// not locality.
+func faultEnv(t *testing.T, knobs Knobs, inj *faultinject.Injector, verify bool) (*Collector, *objmodel.Registry, *heap.Verifier) {
+	t.Helper()
+	h := heap.New(heap.Config{MaxBytes: 128 << 20, Injector: inj}, nil)
+	var v *heap.Verifier
+	if verify {
+		v = heap.NewVerifier()
+		h.SetVerifier(v)
+	}
+	types := objmodel.NewRegistry()
+	c, err := New(h, types, Config{Knobs: knobs, FaultInjector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, types, v
+}
+
+// TestInjectedLostRaceScrubsUndoneAllocation is the deterministic
+// regression test for the PR 2 UndoAlloc scrub fix. The original bug: a
+// mutator that lost the relocation race handed its TLAB copy back via
+// UndoAlloc, which rewound the bump pointer but left the loser copy's ref
+// words behind; the next Alloc at the rewound address wrote only a header
+// (allocation trusts zeroed backing) and the new object inherited stale
+// colored refs. It reproduced only under -count=20 -race load, because the
+// race had to be lost. Here the RelocInsert hook forces the loss: just
+// before the mutator's forwarding Insert, the hook relocates the same
+// object through the collector's pause context, so the mutator always
+// loses the CAS and always takes the UndoAlloc path.
+func TestInjectedLostRaceScrubsUndoneAllocation(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{}) // hook-only: no random faults
+	c, types, v := faultEnv(t, Knobs{RelocateAllSmallPages: true, LazyRelocate: true}, inj, true)
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(2)
+
+	// A rooted array of nodes, each node's ref field pointing at a shared
+	// target so the loser copy contains non-null ref words.
+	const n = 64
+	target := m.Alloc(node)
+	m.SetRoot(1, target)
+	arr := m.AllocRefArray(n)
+	m.SetRoot(0, arr)
+	for i := 0; i < n; i++ {
+		arr, target = m.LoadRoot(0), m.LoadRoot(1)
+		obj := m.Alloc(node)
+		m.StoreRef(obj, 0, target)
+		m.StoreField(obj, 1, uint64(i))
+		m.StoreRef(arr, i, obj)
+	}
+
+	// One cycle: every small page joins the EC, and with LazyRelocate the
+	// GC stands down, so the mutator's next load of arr[0] relocates it.
+	m.RequestGC()
+	if c.CurrentPhase() != PhaseRelocate {
+		t.Fatal("not in relocation era after cycle")
+	}
+
+	// Arm the hook *after* the cycle so STW3 root relocation (which also
+	// passes the injection point) doesn't consume the forced loss.
+	var forced atomic.Bool
+	inj.SetHook(faultinject.RelocInsert, func(addr uint64) {
+		if !forced.CompareAndSwap(false, true) {
+			return // the competing relocation below re-enters this hook
+		}
+		p := c.heap.PageOf(addr)
+		c.relocateObject(c.pauseCtx, addr, p)
+	})
+	arr = m.LoadRoot(0)
+	obj := m.LoadRef(arr, 0) // mutator relocates arr[0] — and loses
+	inj.SetHook(faultinject.RelocInsert, nil)
+	if !forced.Load() {
+		t.Fatal("relocation race was never forced (object not relocated via barrier?)")
+	}
+	if got := m.LoadField(obj, 1); got != 0 {
+		t.Fatalf("relocated node payload = %d, want 0", got)
+	}
+
+	// The mutator's discarded copy went back to its TLAB via UndoAlloc.
+	// The next allocation reuses that address; with the scrub missing, its
+	// ref field would hold the loser copy's stale ref instead of null.
+	fresh := m.Alloc(node)
+	if got := m.LoadRef(fresh, 0); !got.IsNull() {
+		t.Fatalf("fresh object's ref field = %v, want null (UndoAlloc leaked the loser copy)", got)
+	}
+	if got := m.LoadField(fresh, 1); got != 0 {
+		t.Fatalf("fresh object's data field = %d, want 0", got)
+	}
+
+	// A follow-up cycle with the verifier attached must stay clean.
+	m.RequestGC()
+	if v.Total() != 0 {
+		t.Fatalf("verifier found %d violations: %v", v.Total(), v.Violations())
+	}
+	m.Close()
+}
+
+// TestVerifierCleanAcrossCycles runs a mutating workload through several
+// cycles with every knob that changes relocation behaviour, asserting the
+// verifier sees zero violations at every phase boundary.
+func TestVerifierCleanAcrossCycles(t *testing.T) {
+	for _, knobs := range []Knobs{
+		{},
+		{Hotness: true, ColdPage: true, ColdConfidence: 1, RelocateAllSmallPages: true},
+		{Hotness: true, ColdPage: true, ColdConfidence: 1, RelocateAllSmallPages: true, LazyRelocate: true},
+	} {
+		c, types, v := faultEnv(t, knobs, nil, true)
+		node := types.Register("node", 2, []int{0})
+		m := c.NewMutator(1)
+		buildList(m, node, 2000)
+		for i := 0; i < 4; i++ {
+			// Touch half the list (hotness), churn some garbage, collect.
+			ref := m.LoadRoot(0)
+			for j := 0; j < 1000 && !ref.IsNull(); j++ {
+				ref = m.LoadRef(ref, 0)
+			}
+			for j := 0; j < 200; j++ {
+				m.AllocWordArray(64)
+			}
+			m.RequestGC()
+		}
+		if v.Total() != 0 {
+			t.Fatalf("knobs %v: %d violations: %v", knobs, v.Total(), v.Violations())
+		}
+		if v.Runs() == 0 {
+			t.Fatalf("knobs %v: verifier never ran", knobs)
+		}
+		m.Close()
+	}
+}
+
+// TestVerifierCatchesCorruption plants each class of corruption directly in
+// the heap and checks the corresponding verifier check fires with page and
+// address attribution. The collector is parked right after a mark would
+// have ended (good color forced to M0, livemaps hand-built), which is the
+// state verifyMarkedObjects assumes.
+func TestVerifierCatchesCorruption(t *testing.T) {
+	c, types, v := faultEnv(t, Knobs{Hotness: true}, nil, true)
+	node := types.Register("node", 2, []int{0})
+	m := c.NewMutator(1)
+
+	a := m.Alloc(node)
+	b := m.Alloc(node)
+	m.StoreRef(a, 0, b)
+	m.SetRoot(0, a)
+	p := c.heap.PageOf(a.Addr())
+	size := uint64(3) * heap.WordSize // header + 2 fields
+
+	// Recreate end-of-STW2 conditions without running a cycle: good color
+	// M0, page set frozen past this page, livemap marking a and b.
+	c.good.Store(uint64(heap.ColorMarked0))
+	c.startSeq.Store(c.heap.CurrentSeq())
+	p.MarkLive(a.Addr(), size)
+	p.MarkLive(b.Addr(), size)
+
+	// a's ref field still carries the R color from allocation time: a
+	// stale ref after mark end.
+	c.verifyMarkedObjects(v, "test")
+	if got := v.ByCheck()[heap.CheckStaleRef]; got != 1 {
+		t.Fatalf("stale-ref violations = %d, want 1 (%v)", got, v.Violations())
+	}
+
+	// Heal it, then point it at an unmarked (dead) object.
+	dead := m.Alloc(node)
+	c.heap.StoreWord(nil, objmodel.FieldAddr(a.Addr(), 0), uint64(heap.MakeRef(dead.Addr(), heap.ColorMarked0)))
+	c.verifyMarkedObjects(v, "test")
+	if got := v.ByCheck()[heap.CheckUnmarkedRef]; got != 1 {
+		t.Fatalf("unmarked-ref violations = %d, want 1 (%v)", got, v.Violations())
+	}
+
+	// Hot bit on a word the mark never recorded live.
+	c.heap.StoreWord(nil, objmodel.FieldAddr(a.Addr(), 0), 0)
+	p.MarkHot(dead.Addr(), size)
+	c.verifyMarkedObjects(v, "test")
+	if got := v.ByCheck()[heap.CheckHotmapSubset]; got != 1 {
+		t.Fatalf("hotmap-subset violations = %d, want 1 (%v)", got, v.Violations())
+	}
+
+	// A header whose size runs past the page end.
+	p.MarkLive(dead.Addr(), size) // repair the subset invariant first
+	c.heap.StoreWord(nil, b.Addr(), objmodel.EncodeHeader(int(heap.SmallPageSize/heap.WordSize), node.ID))
+	c.verifyMarkedObjects(v, "test")
+	if got := v.ByCheck()[heap.CheckObjectBounds]; got == 0 {
+		t.Fatalf("object-bounds violations = 0 (%v)", v.Violations())
+	}
+
+	// Every violation carries the page it was found on.
+	if v.PageViolations(p.Start()) == 0 {
+		t.Fatal("violations not attributed to the corrupted page")
+	}
+	m.Close()
+}
+
+// TestChaosScheduleSurvivesCycles arms a randomized schedule (the same
+// derivation the chaos soak uses) and runs mutation + cycles under the
+// verifier: injected delays and spurious commit failures must perturb
+// scheduling without ever breaking an invariant.
+func TestChaosScheduleSurvivesCycles(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		inj := faultinject.New(faultinject.Randomized(seed))
+		c, types, v := faultEnv(t, Knobs{Hotness: true, RelocateAllSmallPages: true, LazyRelocate: true}, inj, true)
+		node := types.Register("node", 2, []int{0})
+		m := c.NewMutator(1)
+		buildList(m, node, 1500)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 300; j++ {
+				m.AllocWordArray(32)
+			}
+			m.RequestGC()
+		}
+		walkList(t, m, 1500)
+		if v.Total() != 0 {
+			t.Fatalf("seed %d (%v): %d violations: %v", seed, inj.Config(), v.Total(), v.Violations())
+		}
+		m.Close()
+	}
+}
+
+func TestOutOfMemoryErrorShape(t *testing.T) {
+	err := &OutOfMemoryError{Size: 64, Attempts: 17, UsedBytes: 100, MaxBytes: 128, Cause: heap.ErrHeapFull}
+	if !errors.Is(err, ErrOutOfMemory) || !errors.Is(err, heap.ErrHeapFull) {
+		t.Fatal("OutOfMemoryError does not unwrap to both sentinels")
+	}
+	msg := err.Error()
+	for _, want := range []string{"out of memory", "17 attempts", "100/128"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}

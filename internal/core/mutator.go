@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"hcsgc/internal/faultinject"
 	"hcsgc/internal/heap"
 	"hcsgc/internal/locality"
 	"hcsgc/internal/objmodel"
@@ -85,6 +88,7 @@ func (m *Mutator) Close() {
 // Safepoint is the GC poll; call it at loop back-edges. Allocation
 // methods poll implicitly.
 func (m *Mutator) Safepoint() {
+	m.c.inj.At(faultinject.SafepointEntry, 0)
 	if len(m.markBuf) > 0 && m.c.CurrentPhase() == PhaseMark {
 		m.flushMarkBuf()
 	}
@@ -129,33 +133,62 @@ func (m *Mutator) Core() *simmem.Core { return m.core }
 // --- Allocation ---------------------------------------------------------
 
 // Alloc allocates a fixed-layout object and returns a good-colored
-// reference. Fields start zeroed (null references).
+// reference. Fields start zeroed (null references). On heap exhaustion it
+// panics with the *OutOfMemoryError TryAlloc would return; callers that
+// want to degrade gracefully use TryAlloc.
 func (m *Mutator) Alloc(t *objmodel.Type) heap.Ref {
+	return mustAlloc(m.TryAlloc(t))
+}
+
+// TryAlloc allocates a fixed-layout object, returning ErrOutOfMemory (as
+// an *OutOfMemoryError with an occupancy snapshot) when the allocation
+// stalled through its retry budget without the GC freeing enough space.
+func (m *Mutator) TryAlloc(t *objmodel.Type) (heap.Ref, error) {
 	return m.allocWords(t.SizeWords(), t.ID)
 }
 
-// AllocRefArray allocates an array of n reference slots.
+// AllocRefArray allocates an array of n reference slots, panicking on heap
+// exhaustion (see Alloc).
 func (m *Mutator) AllocRefArray(n int) heap.Ref {
+	return mustAlloc(m.TryAllocRefArray(n))
+}
+
+// TryAllocRefArray allocates an array of n reference slots (see TryAlloc).
+func (m *Mutator) TryAllocRefArray(n int) (heap.Ref, error) {
 	return m.allocWords(objmodel.ArraySizeWords(n), objmodel.RefArrayTypeID)
 }
 
-// AllocWordArray allocates an array of n data words.
+// AllocWordArray allocates an array of n data words, panicking on heap
+// exhaustion (see Alloc).
 func (m *Mutator) AllocWordArray(n int) heap.Ref {
+	return mustAlloc(m.TryAllocWordArray(n))
+}
+
+// TryAllocWordArray allocates an array of n data words (see TryAlloc).
+func (m *Mutator) TryAllocWordArray(n int) (heap.Ref, error) {
 	return m.allocWords(objmodel.ArraySizeWords(n), objmodel.WordArrayTypeID)
 }
 
-func (m *Mutator) allocWords(sizeWords int, typeID uint16) heap.Ref {
+func mustAlloc(ref heap.Ref, err error) heap.Ref {
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
+func (m *Mutator) allocWords(sizeWords int, typeID uint16) (heap.Ref, error) {
 	m.Safepoint()
 	size := uint64(sizeWords) * heap.WordSize
 	var addr uint64
+	var err error
 	class := heap.ClassFor(size, m.c.cfg.Knobs.TinyPages && m.c.heap.Config().EnableTinyClass)
 	switch class {
 	case heap.ClassSmall, heap.ClassTiny:
-		addr = m.allocSmall(size, class)
+		addr, err = m.allocSmall(size, class)
 	case heap.ClassMedium:
-		addr = m.allocStall(func() (uint64, error) { return m.c.allocMedium(size) })
+		addr, err = m.allocStall(size, func() (uint64, error) { return m.c.allocMedium(size) })
 	case heap.ClassLarge:
-		addr = m.allocStall(func() (uint64, error) {
+		addr, err = m.allocStall(size, func() (uint64, error) {
 			p, err := m.c.heap.AllocLargePage(size)
 			if err != nil {
 				return 0, err
@@ -163,19 +196,22 @@ func (m *Mutator) allocWords(sizeWords int, typeID uint16) heap.Ref {
 			return p.AllocRaw(size), nil
 		})
 	}
+	if err != nil {
+		return heap.NullRef, err
+	}
 	m.c.heap.StoreWord(m.core, addr, objmodel.EncodeHeader(sizeWords, typeID))
 	m.extra.Add(m.c.cfg.Costs.Alloc)
-	return heap.MakeRef(addr, m.c.Good())
+	return heap.MakeRef(addr, m.c.Good()), nil
 }
 
 // allocSmall bump-allocates from the TLAB, refilling on demand.
-func (m *Mutator) allocSmall(size uint64, class heap.Class) uint64 {
+func (m *Mutator) allocSmall(size uint64, class heap.Class) (uint64, error) {
 	if m.tlab != nil && m.tlab.Class() == class {
 		if addr := m.tlab.AllocRaw(size); addr != 0 {
-			return addr
+			return addr, nil
 		}
 	}
-	return m.allocStall(func() (uint64, error) {
+	return m.allocStall(size, func() (uint64, error) {
 		p, err := m.c.heap.AllocPage(class)
 		if err != nil {
 			return 0, err
@@ -185,31 +221,51 @@ func (m *Mutator) allocSmall(size uint64, class heap.Class) uint64 {
 	})
 }
 
-// maxStallRetries bounds allocation stalls before declaring OOM.
-const maxStallRetries = 16
-
 // allocStall runs the allocation, stalling for GC cycles while the heap is
-// full (the mutator counts as stopped during the stall).
-func (m *Mutator) allocStall(alloc func() (uint64, error)) uint64 {
-	for attempt := 0; attempt < maxStallRetries; attempt++ {
+// full (the mutator counts as stopped during the stall). When the retry
+// budget (Config.StallRetries) or deadline (Config.StallDeadline) runs out
+// without progress, it returns a structured *OutOfMemoryError instead of
+// panicking, so heap exhaustion unwinds as an ordinary error.
+func (m *Mutator) allocStall(size uint64, alloc func() (uint64, error)) (uint64, error) {
+	var start time.Time
+	var lastErr error
+	for attempt := 1; ; attempt++ {
 		addr, err := alloc()
 		if err == nil {
 			if addr == 0 {
 				panic("core: allocation returned null address without error")
 			}
-			return addr
+			return addr, nil
 		}
-		if err != heap.ErrHeapFull {
-			panic(fmt.Sprintf("core: allocation failed: %v", err))
+		if !errors.Is(err, heap.ErrHeapFull) {
+			// Address-space exhaustion and the like: stalling cannot help.
+			return 0, err
+		}
+		lastErr = err
+		if start.IsZero() {
+			start = time.Now()
+		}
+		deadline := m.c.cfg.StallDeadline
+		if attempt > m.c.cfg.StallRetries || (deadline > 0 && time.Since(start) >= deadline) {
+			return 0, &OutOfMemoryError{
+				Size:      size,
+				Attempts:  attempt,
+				Stalled:   time.Since(start),
+				UsedBytes: m.c.heap.UsedBytes(),
+				MaxBytes:  m.c.heap.MaxBytes(),
+				Cause:     lastErr,
+			}
 		}
 		m.Stalls++
 		m.c.tm.allocStalls.Inc()
 		prev := m.c.cycles.Load()
 		m.c.sp.beginBlocked()
+		if backoff := m.c.cfg.StallBackoff; backoff > 0 && attempt > 1 {
+			time.Sleep(time.Duration(attempt-1) * backoff)
+		}
 		m.c.collectIfDue(prev, "allocation stall")
 		m.c.sp.endBlocked()
 	}
-	panic("core: out of memory: allocation stalled with no progress")
 }
 
 // relocTargetSmall allocates relocation destination space in the TLAB so
@@ -311,6 +367,7 @@ func (m *Mutator) ArrayLen(obj heap.Ref) int {
 // change while this mutator is parked at a safepoint.
 func (m *Mutator) barrierSlow(raw heap.Ref) heap.Ref {
 	c := m.c
+	c.inj.At(faultinject.BarrierSlow, raw.Addr())
 	m.extra.Add(c.cfg.Costs.BarrierSlow)
 	c.tm.barrierSlow.Inc()
 	addr := raw.Addr()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"hcsgc/internal/faultinject"
 	"hcsgc/internal/heap"
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
@@ -103,6 +104,10 @@ func (c *Collector) relocateObject(ctx *relocCtx, addr uint64, p *heap.Page) uin
 		dst = c.allocMediumForced(size)
 	}
 	c.heap.CopyObject(ctx.core, addr, dst, size)
+	// The copy is done but not yet published: this is the racy window where
+	// another actor's Insert can win and strand this copy. The injection
+	// point widens it under chaos and lets tests force a loss via a hook.
+	c.inj.At(faultinject.RelocInsert, addr)
 	final, won := fwd.Insert(off, dst)
 	ctx.extra.Add(c.cfg.Costs.RelocSetup)
 	if !won {

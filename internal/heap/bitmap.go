@@ -63,6 +63,23 @@ func (b *Bitmap) Count() int {
 	return n
 }
 
+// FirstNotIn returns the index of the first bit set in b but clear in
+// other, or -1 when b is a subset of other. The verifier uses it for the
+// hotmap ⊆ livemap invariant: a hot bit on an unmarked word means hotness
+// survived an object the mark declared dead.
+func (b *Bitmap) FirstNotIn(other *Bitmap) int {
+	for w := range b.words {
+		var o uint64
+		if w < len(other.words) {
+			o = atomic.LoadUint64(&other.words[w])
+		}
+		if extra := atomic.LoadUint64(&b.words[w]) &^ o; extra != 0 {
+			return w*64 + bits.TrailingZeros64(extra)
+		}
+	}
+	return -1
+}
+
 // ForEachSet calls fn with the index of every set bit, in ascending order.
 // The iteration reads each word once; bits set concurrently may or may not
 // be observed.

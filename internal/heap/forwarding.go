@@ -89,6 +89,21 @@ func (t *ForwardTable) waitVal(i uint64) uint64 {
 	}
 }
 
+// ForEach calls fn for every inserted (offset, forwarded address) pair, in
+// table order. Entries whose value is still being published (claim won,
+// value store pending) are reported with addr 0; under STW — the only place
+// the verifier walks tables — no claim can be in flight, so a zero there is
+// itself an anomaly worth reporting.
+func (t *ForwardTable) ForEach(fn func(off, addr uint64)) {
+	for i := range t.keys {
+		k := t.keys[i].Load()
+		if k == 0 {
+			continue
+		}
+		fn(k-1, t.vals[i].Load())
+	}
+}
+
 // Len returns the number of inserted entries.
 func (t *ForwardTable) Len() int { return int(t.used.Load()) }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hcsgc/internal/faultinject"
 	"hcsgc/internal/simmem"
 	"hcsgc/internal/telemetry"
 )
@@ -30,6 +31,10 @@ type Config struct {
 	// EnableTinyClass turns on the cache-line-magnitude page class that the
 	// paper proposes as future work.
 	EnableTinyClass bool
+	// Injector, when non-nil, arms the fault-injection plane at the heap's
+	// injection points (page commit/free, UndoAlloc). Nil costs one branch
+	// per site.
+	Injector *faultinject.Injector
 }
 
 func (c *Config) withDefaults() Config {
@@ -72,6 +77,11 @@ type Heap struct {
 	// rec receives page-lifecycle telemetry events; nil (the default)
 	// disables recording at the cost of one branch per transition.
 	rec *telemetry.Recorder
+	// inj is the fault-injection plane from Config.Injector (may be nil).
+	inj *faultinject.Injector
+	// verifier, when attached, receives invariant violations from the STW
+	// heap walks the collector runs at phase boundaries.
+	verifier atomic.Pointer[Verifier]
 }
 
 // New builds a heap bound to a memory-hierarchy model (may be nil in unit
@@ -85,6 +95,7 @@ func New(cfg Config, mem *simmem.Hierarchy) *Heap {
 		pageTable: make([]atomic.Pointer[Page], granules),
 		live:      make(map[*Page]struct{}),
 		pools:     make(map[Class]*sync.Pool),
+		inj:       cfg.Injector,
 	}
 	h.nextGranule.Store(1)
 	for _, cl := range []Class{ClassTiny, ClassSmall, ClassMedium} {
@@ -166,8 +177,13 @@ func (h *Heap) AllocLargePage(objSize uint64) (*Page, error) {
 }
 
 func (h *Heap) installPage(size uint64, class Class, backing []uint64) (*Page, error) {
-	if uint64(h.usedBytes.Load())+size > h.cfg.MaxBytes {
-		return nil, ErrHeapFull
+	if h.inj.FailCommit() {
+		return nil, fmt.Errorf("heap: injected commit failure for %v page of %d bytes: %d of %d bytes committed: %w",
+			class, size, h.usedBytes.Load(), h.cfg.MaxBytes, ErrHeapFull)
+	}
+	if used := uint64(h.usedBytes.Load()); used+size > h.cfg.MaxBytes {
+		return nil, fmt.Errorf("heap: cannot commit %v page of %d bytes: %d of %d bytes committed (%.1f%%): %w",
+			class, size, used, h.cfg.MaxBytes, 100*float64(used)/float64(h.cfg.MaxBytes), ErrHeapFull)
 	}
 	return h.installPageForced(size, class, backing)
 }
@@ -179,6 +195,7 @@ func (h *Heap) installPageForced(size uint64, class Class, backing []uint64) (*P
 		return nil, ErrAddressSpace
 	}
 	p := newPage(g*Granule, size, class, h.seq.Add(1), backing)
+	p.inj = h.inj
 	for i := uint64(0); i < nGran; i++ {
 		h.pageTable[g+i].Store(p)
 	}
@@ -196,6 +213,7 @@ func (h *Heap) installPageForced(size uint64, class Class, backing []uint64) (*P
 // forwarding lookups stay valid (as in ZGC, where evacuated pages are
 // recycled but their forwarding tables survive until next mark end).
 func (h *Heap) FreePage(p *Page) {
+	h.inj.At(faultinject.PageFree, p.start)
 	if p.Freed() {
 		return
 	}
@@ -241,6 +259,31 @@ func (h *Heap) LivePages(fn func(*Page)) {
 	h.mu.Unlock()
 	for _, p := range pages {
 		fn(p)
+	}
+}
+
+// SetVerifier attaches (or, with nil, detaches) the STW heap verifier.
+// The collector consults it at phase boundaries; a detached verifier costs
+// one branch per boundary.
+func (h *Heap) SetVerifier(v *Verifier) { h.verifier.Store(v) }
+
+// Verifier returns the attached STW heap verifier, or nil.
+func (h *Heap) Verifier() *Verifier { return h.verifier.Load() }
+
+// VerifyAccounting checks Σ live-page sizes == usedBytes against the
+// attached verifier. Must run under STW (or with page alloc/free otherwise
+// quiescent); a mismatch means a page was leaked from or double-counted in
+// the committed-bytes budget that drives the GC trigger.
+func (h *Heap) VerifyAccounting(phase string) {
+	v := h.Verifier()
+	if v == nil {
+		return
+	}
+	var sum uint64
+	h.LivePages(func(p *Page) { sum += p.Size() })
+	if used := h.UsedBytes(); sum != used {
+		v.Report(CheckAccounting, phase, 0, 0,
+			fmt.Sprintf("live pages total %d bytes but usedBytes is %d", sum, used))
 	}
 }
 

@@ -16,6 +16,10 @@ func (h *Heap) WriteHeapMap(w io.Writer) {
 	sort.Slice(pages, func(i, j int) bool { return pages[i].Start() < pages[j].Start() })
 	fmt.Fprintf(w, "heap: %s / %s committed (%.1f%%), %d pages\n",
 		fmtSize(h.UsedBytes()), fmtSize(h.MaxBytes()), h.UsedPercent(), len(pages))
+	v := h.Verifier()
+	if v != nil {
+		fmt.Fprintf(w, "verifier: %d passes, %d violations\n", v.Runs(), v.Total())
+	}
 	fmt.Fprintf(w, "%-14s %-7s %9s %7s %7s  %s\n", "page", "class", "used", "live%", "hot%", "occupancy (#=live-hot, +=hot, .=allocated)")
 	for _, p := range pages {
 		liveRatio := 100 * p.LiveRatio()
@@ -25,8 +29,12 @@ func (h *Heap) WriteHeapMap(w io.Writer) {
 		}
 		usedRatio := float64(p.UsedBytes()) / float64(p.Size())
 		bar := renderBar(usedRatio, p.LiveRatio(), float64(p.HotBytes())/float64(p.Size()), 40)
-		fmt.Fprintf(w, "%#-14x %-7s %9s %6.1f%% %6.1f%%  %s\n",
-			p.Start(), p.Class(), fmtSize(p.UsedBytes()), liveRatio, hotRatio, bar)
+		flag := ""
+		if n := v.PageViolations(p.Start()); n > 0 {
+			flag = fmt.Sprintf("  !%d VIOLATIONS", n)
+		}
+		fmt.Fprintf(w, "%#-14x %-7s %9s %6.1f%% %6.1f%%  %s%s\n",
+			p.Start(), p.Class(), fmtSize(p.UsedBytes()), liveRatio, hotRatio, bar, flag)
 	}
 }
 

@@ -3,6 +3,8 @@ package heap
 import (
 	"fmt"
 	"sync/atomic"
+
+	"hcsgc/internal/faultinject"
 )
 
 // Page size classes per Table 1 of the paper, plus the "cache-line
@@ -89,6 +91,11 @@ type Page struct {
 	// freed marks a recycled page (address space retired, backing kept
 	// until the forwarding registry is dropped at next mark end).
 	freed atomic.Bool
+
+	// inj is the heap's fault-injection plane (nil when disarmed), copied
+	// here so UndoAlloc's race window can be perturbed without a heap
+	// back-pointer.
+	inj *faultinject.Injector
 }
 
 // newPage wires a page over a fresh address range with a backing slice.
@@ -139,6 +146,7 @@ func (p *Page) AllocRaw(size uint64) uint64 {
 // whether the space was reclaimed.
 func (p *Page) UndoAlloc(addr, size uint64) bool {
 	size = (size + WordSize - 1) &^ uint64(WordSize-1)
+	p.inj.At(faultinject.UndoAllocPre, addr)
 	if p.top.Load() != addr+size {
 		return false
 	}
@@ -153,6 +161,7 @@ func (p *Page) UndoAlloc(addr, size uint64) bool {
 	for i := uint64(0); i < size/WordSize; i++ {
 		p.storeWord(base+i, 0)
 	}
+	p.inj.At(faultinject.UndoAllocPost, addr)
 	return p.top.CompareAndSwap(addr+size, addr)
 }
 
@@ -300,6 +309,10 @@ func (p *Page) DropForwarding() {
 // Livemap exposes the page's live bitmap for the relocation drain, which
 // walks live objects in address order.
 func (p *Page) Livemap() *Bitmap { return p.livemap }
+
+// Hotmap exposes the page's hot bitmap for the STW verifier's
+// hotmap ⊆ livemap check.
+func (p *Page) Hotmap() *Bitmap { return p.hotmap }
 
 // String summarises the page for logs.
 func (p *Page) String() string {

@@ -1,0 +1,157 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+
+	"hcsgc/internal/telemetry"
+)
+
+func TestVerifyAccounting(t *testing.T) {
+	h := New(Config{MaxBytes: 64 << 20}, nil)
+	v := NewVerifier()
+	h.SetVerifier(v)
+	if _, err := h.AllocPage(ClassSmall); err != nil {
+		t.Fatal(err)
+	}
+	h.VerifyAccounting("test")
+	if v.Total() != 0 {
+		t.Fatalf("clean heap reported %d violations: %v", v.Total(), v.Violations())
+	}
+	// Skew the budget behind the verifier's back: the sum of live page
+	// sizes no longer matches usedBytes.
+	h.usedBytes.Add(1)
+	h.VerifyAccounting("test")
+	if v.Total() != 1 {
+		t.Fatalf("skewed budget reported %d violations, want 1", v.Total())
+	}
+	got := v.Violations()[0]
+	if got.Check != CheckAccounting || got.Phase != "test" {
+		t.Fatalf("violation = %v, want accounting@test", got)
+	}
+	h.usedBytes.Add(-1)
+}
+
+func TestVerifierTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	v := NewVerifier()
+	v.BindTelemetry(reg)
+	v.BeginRun()
+	v.Report(CheckStaleRef, "stw2", 0x200000, 0x200010, "boom")
+	v.Report(CheckStaleRef, "stw2", 0x200000, 0x200018, "boom")
+	if got := reg.Counter("hcsgc_verify_runs_total", "").Value(); got != 1 {
+		t.Fatalf("hcsgc_verify_runs_total = %d, want 1", got)
+	}
+	if got := reg.Counter("hcsgc_verify_violations_total", "", "check", CheckStaleRef).Value(); got != 2 {
+		t.Fatalf("hcsgc_verify_violations_total{check=stale-ref} = %d, want 2", got)
+	}
+	if got := reg.Counter("hcsgc_verify_violations_total", "", "check", CheckAccounting).Value(); got != 0 {
+		t.Fatalf("hcsgc_verify_violations_total{check=accounting} = %d, want 0", got)
+	}
+	if v.PageViolations(0x200000) != 2 || v.ByCheck()[CheckStaleRef] != 2 {
+		t.Fatal("per-page / per-check attribution wrong")
+	}
+}
+
+func TestVerifierDetailRetentionIsBounded(t *testing.T) {
+	v := NewVerifier()
+	for i := 0; i < maxViolationDetails+50; i++ {
+		v.Report(CheckObjectBounds, "stw2", 0x200000, uint64(i), "overflow")
+	}
+	if got := len(v.Violations()); got != maxViolationDetails {
+		t.Fatalf("retained %d details, want %d", got, maxViolationDetails)
+	}
+	if v.Total() != uint64(maxViolationDetails+50) {
+		t.Fatalf("Total = %d, want %d", v.Total(), maxViolationDetails+50)
+	}
+}
+
+func TestNilVerifierIsInert(t *testing.T) {
+	var v *Verifier
+	v.BeginRun()
+	v.Report(CheckStaleRef, "stw1", 1, 2, "x")
+	if v.Runs() != 0 || v.Total() != 0 || v.Violations() != nil || v.PageViolations(1) != 0 || v.ByCheck() != nil {
+		t.Fatal("nil verifier recorded something")
+	}
+}
+
+func TestHeapMapRendersViolations(t *testing.T) {
+	h := New(Config{MaxBytes: 64 << 20}, nil)
+	v := NewVerifier()
+	h.SetVerifier(v)
+	p, err := h.AllocPage(ClassSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.BeginRun()
+	v.Report(CheckStaleRef, "stw2", p.Start(), p.Start()+16, "stale ref word")
+	v.Report(CheckUnmarkedRef, "stw2", p.Start(), p.Start()+24, "dead target")
+	var sb strings.Builder
+	h.WriteHeapMap(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "verifier: 1 passes, 2 violations") {
+		t.Fatalf("heap map missing verifier summary:\n%s", out)
+	}
+	if !strings.Contains(out, "!2 VIOLATIONS") {
+		t.Fatalf("heap map missing per-page violation flag:\n%s", out)
+	}
+	// Without a verifier the map stays unchanged.
+	h.SetVerifier(nil)
+	sb.Reset()
+	h.WriteHeapMap(&sb)
+	if strings.Contains(sb.String(), "verifier:") || strings.Contains(sb.String(), "VIOLATIONS") {
+		t.Fatalf("detached verifier still rendered:\n%s", sb.String())
+	}
+}
+
+func TestBitmapFirstNotIn(t *testing.T) {
+	a, b := NewBitmap(256), NewBitmap(256)
+	if got := a.FirstNotIn(b); got != -1 {
+		t.Fatalf("empty ⊆ empty: got %d", got)
+	}
+	b.TestAndSet(3)
+	b.TestAndSet(130)
+	a.TestAndSet(3)
+	if got := a.FirstNotIn(b); got != -1 {
+		t.Fatalf("{3} ⊆ {3,130}: got %d", got)
+	}
+	a.TestAndSet(130)
+	a.TestAndSet(65)
+	if got := a.FirstNotIn(b); got != 65 {
+		t.Fatalf("first extra bit = %d, want 65", got)
+	}
+}
+
+func TestForwardTableForEach(t *testing.T) {
+	ft := NewForwardTable(8)
+	want := map[uint64]uint64{4: 0x400000, 9: 0x400040, 100: 0x400080}
+	for off, addr := range want {
+		ft.Insert(off, addr)
+	}
+	got := map[uint64]uint64{}
+	ft.ForEach(func(off, addr uint64) { got[off] = addr })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(want))
+	}
+	for off, addr := range want {
+		if got[off] != addr {
+			t.Fatalf("ForEach[%d] = %#x, want %#x", off, got[off], addr)
+		}
+	}
+}
+
+func TestInjectedCommitFailureWrapsErrHeapFull(t *testing.T) {
+	// Covered more fully in core's OOM tests; here just check the error
+	// text carries occupancy context and unwraps to ErrHeapFull.
+	h := New(Config{MaxBytes: SmallPageSize}, nil)
+	if _, err := h.AllocPage(ClassSmall); err != nil {
+		t.Fatal(err)
+	}
+	_, err := h.AllocPage(ClassSmall)
+	if err == nil {
+		t.Fatal("over-budget commit succeeded")
+	}
+	if !strings.Contains(err.Error(), "committed") {
+		t.Fatalf("commit error lacks occupancy context: %v", err)
+	}
+}

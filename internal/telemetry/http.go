@@ -68,6 +68,21 @@ func (s *Sink) SetGCLog(fn func(io.Writer)) {
 	s.mu.Unlock()
 }
 
+// WriteGCLog renders the installed GC log to w, outside any HTTP request.
+// The chaos soak uses it to capture a failing run's log as an artifact.
+// A sink without an installed renderer writes nothing.
+func (s *Sink) WriteGCLog(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	fn := s.gclog
+	s.mu.Unlock()
+	if fn != nil {
+		fn(w)
+	}
+}
+
 // SetLocality installs the snapshot source behind the /locality endpoint
 // (typically a closure over locality.Profiler.Report). The returned value
 // is rendered as JSON. Nil-safe; the latest runtime wins.

@@ -32,7 +32,7 @@ const (
 func H2() Workload {
 	return Workload{
 		Name: "h2 (Fig. 12)",
-		Run: func(cfg RunConfig) Result {
+		Run: guard(func(cfg RunConfig) Result {
 			scale := cfg.scale(h2DefaultScale)
 			rows := int(float64(h2Rows) * scale)
 			ops := int(float64(h2OpsPerIter) * scale)
@@ -54,6 +54,7 @@ func H2() Workload {
 				heapBytes = 32 << 20
 			}
 			e := newEnv(cfg, heapBytes, heapdb.RootSlots)
+			defer e.cleanup()
 			types := heapdb.RegisterTypes(e.rt.Types)
 			m := e.m
 			db := heapdb.New(m, types, 0)
@@ -122,6 +123,6 @@ func H2() Workload {
 				e.sampleHeap()
 			}
 			return e.finish(check)
-		},
+		}),
 	}
 }

@@ -48,7 +48,7 @@ func jgraphtPreset(dataset string, mc bool) (graphgen.Preset, error) {
 func JGraphTCC(dataset string) Workload {
 	return Workload{
 		Name: fmt.Sprintf("JGraphT CC %s", dataset),
-		Run: func(cfg RunConfig) Result {
+		Run: guard(func(cfg RunConfig) Result {
 			preset, err := jgraphtPreset(dataset, false)
 			if err != nil {
 				panic(err)
@@ -57,6 +57,7 @@ func JGraphTCC(dataset string) Workload {
 			params.Seed += cfg.Seed // per-run graph variation
 			g := graphgen.MustGenerate(params)
 			e := newEnv(cfg, graphHeapBytes(g), 2)
+			defer e.cleanup()
 			gt := graphalg.RegisterTypes(e.rt.Types)
 			hg := graphalg.Load(e.m, gt, g, 0)
 			// The paper's driver loads the COMPLETE LAW dataset before
@@ -77,7 +78,7 @@ func JGraphTCC(dataset string) Workload {
 				e.sampleHeap()
 			}
 			return e.finish(check)
-		},
+		}),
 	}
 }
 
@@ -86,7 +87,7 @@ func JGraphTCC(dataset string) Workload {
 func JGraphTMC(dataset string) Workload {
 	return Workload{
 		Name: fmt.Sprintf("JGraphT MC %s", dataset),
-		Run: func(cfg RunConfig) Result {
+		Run: guard(func(cfg RunConfig) Result {
 			preset, err := jgraphtPreset(dataset, true)
 			if err != nil {
 				panic(err)
@@ -95,6 +96,7 @@ func JGraphTMC(dataset string) Workload {
 			params.Seed += cfg.Seed
 			g := graphgen.MustGenerate(params)
 			e := newEnv(cfg, graphHeapBytes(g), 2)
+			defer e.cleanup()
 			gt := graphalg.RegisterTypes(e.rt.Types)
 			hg := graphalg.Load(e.m, gt, g, 0)
 			hg.AllocSetGarbage = true // JGraphT's per-call set copies
@@ -109,7 +111,7 @@ func JGraphTMC(dataset string) Workload {
 				e.sampleHeap()
 			}
 			return e.finish(check)
-		},
+		}),
 	}
 }
 

@@ -33,7 +33,7 @@ const (
 func SPECjbb() Workload {
 	return Workload{
 		Name: "SPECjbb2015-like (Fig. 13)",
-		Run: func(cfg RunConfig) Result {
+		Run: guard(func(cfg RunConfig) Result {
 			scale := cfg.scale(sjDefaultScale)
 			products := int(float64(sjProducts) * scale)
 			baseTxns := int(float64(sjBaseTxns) * scale)
@@ -50,6 +50,7 @@ func SPECjbb() Workload {
 			// Sized so the ramping allocation rate drives GC cycles whose
 			// post-cycle occupancy grows with the rate (Fig. 13 rightmost).
 			e := newEnv(cfg, 32<<20, 2)
+			defer e.cleanup()
 			product := e.rt.Types.Register("sj.product", spFields, nil)
 			order := e.rt.Types.Register("sj.order", 4, []int{0})
 			m := e.m
@@ -139,7 +140,7 @@ func SPECjbb() Workload {
 				"critical-jOPS": critJOPS,
 			}
 			return res
-		},
+		}),
 	}
 }
 

@@ -102,15 +102,16 @@ func synRunPhase(e *env, p synParams, seed int64) uint64 {
 func SyntheticSinglePhase() Workload {
 	return Workload{
 		Name: "synthetic single-phase (Fig. 4)",
-		Run: func(cfg RunConfig) Result {
+		Run: guard(func(cfg RunConfig) Result {
 			p := synSizes(cfg.scale(synDefaultScale))
 			e := newEnv(cfg, 64<<20, 2)
+			defer e.cleanup()
 			objType := e.rt.Types.Register("syn.obj", synObjFields, nil)
 			synBuild(e, objType, p.elems)
 			e.markMeasured()
 			check := synRunPhase(e, p, cfg.Seed)
 			return e.finish(check)
-		},
+		}),
 	}
 }
 
@@ -119,12 +120,13 @@ func SyntheticSinglePhase() Workload {
 func SyntheticMultiPhase() Workload {
 	return Workload{
 		Name: "synthetic 3-phase (Fig. 5)",
-		Run: func(cfg RunConfig) Result {
+		Run: guard(func(cfg RunConfig) Result {
 			p := synSizes(cfg.scale(synDefaultScale))
 			// Keep total work comparable to single-phase: split the outer
 			// iterations across the three phases.
 			p.outer = (p.outer + 2) / 3
 			e := newEnv(cfg, 64<<20, 2)
+			defer e.cleanup()
 			objType := e.rt.Types.Register("syn.obj", synObjFields, nil)
 			synBuild(e, objType, p.elems)
 			e.markMeasured()
@@ -133,7 +135,7 @@ func SyntheticMultiPhase() Workload {
 				check += synRunPhase(e, p, cfg.Seed+int64(phase)) // per-phase seed
 			}
 			return e.finish(check)
-		},
+		}),
 	}
 }
 
@@ -143,7 +145,7 @@ func SyntheticMultiPhase() Workload {
 func SyntheticOverloaded() Workload {
 	return Workload{
 		Name: "synthetic overloaded (Fig. 6)",
-		Run: func(cfg RunConfig) Result {
+		Run: guard(func(cfg RunConfig) Result {
 			scale := cfg.scale(synDefaultScale * 0.4)
 			p := synSizes(scale)
 			if cfg.Machine.Cores == 0 {
@@ -151,6 +153,7 @@ func SyntheticOverloaded() Workload {
 			}
 			cold := p.elems * 10 // hot:cold = 1:10
 			e := newEnv(cfg, uint64(uint64(cold+p.elems)*48+64<<20), 2)
+			defer e.cleanup()
 			objType := e.rt.Types.Register("syn.obj", synObjFields, nil)
 			// Cold array first (allocated "in the beginning, but never
 			// accessed").
@@ -164,6 +167,6 @@ func SyntheticOverloaded() Workload {
 			e.markMeasured()
 			check := synRunPhase(e, p, cfg.Seed)
 			return e.finish(check)
-		},
+		}),
 	}
 }

@@ -68,7 +68,7 @@ const (
 func Tradebeans() Workload {
 	return Workload{
 		Name: "tradebeans (Fig. 11)",
-		Run: func(cfg RunConfig) Result {
+		Run: guard(func(cfg RunConfig) Result {
 			scale := cfg.scale(taDefaultScale)
 			accounts := int(float64(taAccounts) * scale)
 			quotes := int(float64(taQuotes) * scale)
@@ -87,6 +87,7 @@ func Tradebeans() Workload {
 			// this keeps GC cycles rare, so HCSGC's relocation work is a
 			// small fraction of mutator work.
 			e := newEnv(cfg, 160<<20, 4)
+			defer e.cleanup()
 			account := e.rt.Types.Register("ta.account", taFields, []int{taHoldings, taProfile})
 			holding := e.rt.Types.Register("ta.holding", thFields, []int{thQuote})
 			quote := e.rt.Types.Register("ta.quote", tqFields, nil)
@@ -192,6 +193,6 @@ func Tradebeans() Workload {
 				e.sampleHeap()
 			}
 			return e.finish(check)
-		},
+		}),
 	}
 }

@@ -9,7 +9,9 @@
 package workloads
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"hcsgc"
 	"hcsgc/internal/machine"
@@ -47,6 +49,18 @@ type RunConfig struct {
 	// runtime (nil = disabled). The caller keeps the handle and reads
 	// the report after the run.
 	Locality *hcsgc.LocalityProfiler
+	// FaultInjector arms the run's fault-injection plane (nil =
+	// disarmed). Used by the chaos soak.
+	FaultInjector *hcsgc.FaultInjector
+	// Verifier attaches the STW heap verifier to the run's runtime
+	// (nil = detached). The caller keeps the handle and inspects the
+	// violations after the run.
+	Verifier *hcsgc.HeapVerifier
+	// StallRetries / StallBackoff / StallDeadline bound the
+	// allocation-stall loop (see hcsgc.Options).
+	StallRetries  int
+	StallBackoff  time.Duration
+	StallDeadline time.Duration
 }
 
 func (c RunConfig) scale(def float64) float64 {
@@ -88,10 +102,36 @@ type Result struct {
 	Check uint64
 }
 
-// Workload is one runnable benchmark.
+// Workload is one runnable benchmark. Run returns an error instead of a
+// Result when the heap is exhausted (ErrOutOfMemory in the chain): the
+// run is abandoned but the process — and the remaining runs of a sweep —
+// survive.
 type Workload struct {
 	Name string
-	Run  func(RunConfig) Result
+	Run  func(RunConfig) (Result, error)
+}
+
+// guard adapts a workload body to the error-returning Run contract: the
+// allocation fast paths panic with a structured *hcsgc.OutOfMemoryError
+// when the stall budget is exhausted, and guard converts exactly that
+// panic into an error return. Any other panic is a real bug and
+// propagates. The body must defer env.cleanup() so the runtime's driver
+// is stopped on the abandoned path too.
+func guard(body func(RunConfig) Result) func(RunConfig) (Result, error) {
+	return func(cfg RunConfig) (res Result, err error) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			e, ok := r.(error)
+			if !ok || !errors.Is(e, hcsgc.ErrOutOfMemory) {
+				panic(r)
+			}
+			res, err = Result{}, fmt.Errorf("workload run abandoned: %w", e)
+		}()
+		return body(cfg), nil
+	}
 }
 
 // env bundles the runtime plumbing each workload sets up.
@@ -102,6 +142,7 @@ type env struct {
 
 	samples   []HeapSample
 	execStart float64
+	done      bool
 }
 
 // newEnv builds a runtime + main mutator for a workload.
@@ -126,8 +167,26 @@ func newEnv(cfg RunConfig, heapDefault uint64, rootSlots int) *env {
 		StartDriver:     true,
 		Telemetry:       cfg.Telemetry,
 		Locality:        cfg.Locality,
+		FaultInjector:   cfg.FaultInjector,
+		Verifier:        cfg.Verifier,
+		StallRetries:    cfg.StallRetries,
+		StallBackoff:    cfg.StallBackoff,
+		StallDeadline:   cfg.StallDeadline,
 	})
 	return &env{rt: rt, m: rt.NewMutator(rootSlots), cfg: cfg}
+}
+
+// cleanup winds the runtime down exactly once: it runs both on the normal
+// finish path and — via the workload body's defer — when an out-of-memory
+// panic abandons the run, so no driver or worker goroutine outlives a
+// failed run.
+func (e *env) cleanup() {
+	if e.done {
+		return
+	}
+	e.done = true
+	e.m.Close()
+	e.rt.Close()
 }
 
 // markMeasured starts the measured portion (after warm-up).
@@ -145,8 +204,7 @@ func (e *env) sampleHeap() {
 
 // finish closes the runtime and assembles the Result.
 func (e *env) finish(check uint64) Result {
-	e.m.Close()
-	e.rt.Close()
+	e.cleanup()
 	ms := e.rt.MemStats()
 	st := e.rt.Collector.Stats()
 	return Result{

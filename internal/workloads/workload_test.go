@@ -1,7 +1,10 @@
 package workloads
 
 import (
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"hcsgc"
 )
@@ -13,6 +16,16 @@ func tinyCfg(knobs hcsgc.Knobs, seed int64) RunConfig {
 		Seed:  seed,
 		Scale: 0.01,
 	}
+}
+
+// mustRun fails the test on a workload error (heap exhaustion).
+func mustRun(t *testing.T, w Workload, cfg RunConfig) Result {
+	t.Helper()
+	res, err := w.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res
 }
 
 func TestAllWorkloadsRegistered(t *testing.T) {
@@ -44,8 +57,8 @@ func runBoth(t *testing.T, id string) (base, hcs Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base = w.Run(tinyCfg(hcsgc.Knobs{}, 42))
-	hcs = w.Run(tinyCfg(hcsgc.Knobs{
+	base = mustRun(t, w, tinyCfg(hcsgc.Knobs{}, 42))
+	hcs = mustRun(t, w, tinyCfg(hcsgc.Knobs{
 		Hotness: true, ColdPage: true, ColdConfidence: 1.0, LazyRelocate: true,
 	}, 42))
 	if base.Check != hcs.Check {
@@ -80,7 +93,7 @@ func TestH2(t *testing.T)              { runBoth(t, "fig12") }
 
 func TestSPECjbbScores(t *testing.T) {
 	w, _ := Get("fig13")
-	res := w.Run(tinyCfg(hcsgc.Knobs{}, 42))
+	res := mustRun(t, w, tinyCfg(hcsgc.Knobs{}, 42))
 	if res.Scores["max-jOPS"] <= 0 {
 		t.Fatalf("max-jOPS = %v", res.Scores["max-jOPS"])
 	}
@@ -96,7 +109,7 @@ func TestSPECjbbScores(t *testing.T) {
 func TestSyntheticTriggersGC(t *testing.T) {
 	// At moderate scale, the garbage allocation must trigger GC cycles.
 	w, _ := Get("fig4")
-	res := w.Run(RunConfig{Knobs: hcsgc.Knobs{}, Seed: 1, Scale: 0.03})
+	res := mustRun(t, w, RunConfig{Knobs: hcsgc.Knobs{}, Seed: 1, Scale: 0.03})
 	if res.GCCycleCount == 0 {
 		t.Fatal("synthetic benchmark must trigger GC cycles")
 	}
@@ -107,7 +120,7 @@ func TestSyntheticTriggersGC(t *testing.T) {
 
 func TestJGraphTLoadPhaseTriggersGC(t *testing.T) {
 	w, _ := Get("fig7")
-	res := w.Run(RunConfig{Knobs: hcsgc.Knobs{}, Seed: 1, Scale: 0.05})
+	res := mustRun(t, w, RunConfig{Knobs: hcsgc.Knobs{}, Seed: 1, Scale: 0.05})
 	if res.GCCycleCount < 2 {
 		t.Fatalf("CC load phase should produce >=2 early GC cycles, got %d", res.GCCycleCount)
 	}
@@ -115,7 +128,7 @@ func TestJGraphTLoadPhaseTriggersGC(t *testing.T) {
 
 func TestMutatorRelocationHappensUnderLazy(t *testing.T) {
 	w, _ := Get("fig4")
-	res := w.Run(RunConfig{
+	res := mustRun(t, w, RunConfig{
 		Knobs: hcsgc.Knobs{RelocateAllSmallPages: true, LazyRelocate: true},
 		Seed:  1, Scale: 0.03,
 	})
@@ -126,13 +139,50 @@ func TestMutatorRelocationHappensUnderLazy(t *testing.T) {
 
 func TestDeterministicChecksumAcrossSeeds(t *testing.T) {
 	w, _ := Get("fig12")
-	a := w.Run(tinyCfg(hcsgc.Knobs{}, 5))
-	b := w.Run(tinyCfg(hcsgc.Knobs{}, 5))
+	a := mustRun(t, w, tinyCfg(hcsgc.Knobs{}, 5))
+	b := mustRun(t, w, tinyCfg(hcsgc.Knobs{}, 5))
 	if a.Check != b.Check {
 		t.Fatal("same seed must give same checksum")
 	}
-	c := w.Run(tinyCfg(hcsgc.Knobs{}, 6))
+	c := mustRun(t, w, tinyCfg(hcsgc.Knobs{}, 6))
 	if a.Check == c.Check {
 		t.Fatal("different seeds should give different checksums")
 	}
+}
+
+// TestWorkloadOOMPropagatesAsError drives a workload into genuine heap
+// exhaustion — a heap far below the live set, the driver trigger
+// suppressed by the injector, and a tight stall budget — and checks the
+// failure surfaces as an error from Run (ErrOutOfMemory in the chain)
+// rather than a panic, and that the abandoned run leaks no goroutine.
+func TestWorkloadOOMPropagatesAsError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w, _ := Get("fig4")
+	inj := hcsgc.NewFaultInjector(hcsgc.FaultConfig{SuppressDriver: true})
+	_, err := w.Run(RunConfig{
+		Knobs:         hcsgc.Knobs{},
+		Seed:          1,
+		Scale:         0.05,
+		HeapMaxBytes:  4 << 20, // far below the fig4 live set
+		DisableMem:    true,
+		FaultInjector: inj,
+		StallRetries:  2,
+	})
+	if err == nil {
+		t.Fatal("fig4 in a 4MB heap with the driver suppressed did not fail")
+	}
+	if !errors.Is(err, hcsgc.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory in chain", err)
+	}
+	var oom *hcsgc.OutOfMemoryError
+	if !errors.As(err, &oom) {
+		t.Fatalf("err %T does not carry *OutOfMemoryError", err)
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after abandoned run", before, runtime.NumGoroutine())
 }
