@@ -1,0 +1,109 @@
+// Command hcsgc-lint runs the GC-core invariant checkers over the module.
+//
+// Standalone (the CI entry point; runs per-package and module-wide passes):
+//
+//	go run ./cmd/hcsgc-lint ./...
+//
+// As a vet tool (per-package passes only; integrates with go vet's build
+// cache and diagnostic formatting):
+//
+//	go build -o /tmp/hcsgc-lint ./cmd/hcsgc-lint
+//	go vet -vettool=/tmp/hcsgc-lint ./...
+//
+// Exit status: 0 clean, 1 operational error (load/typecheck failure),
+// 2 one or more invariant violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hcsgc/internal/analysis"
+	"hcsgc/internal/analysis/lintkit"
+)
+
+func main() {
+	analyzers := analysis.All()
+
+	// Under `go vet -vettool=` the go command drives us with the
+	// unit-checker protocol; MaybeRunVetTool exits the process in that
+	// case and falls through for plain invocations.
+	lintkit.MaybeRunVetTool(analyzers)
+
+	var list bool
+	var only string
+	flag.BoolVar(&list, "list", false, "list the analyzers and exit")
+	flag.StringVar(&only, "only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: hcsgc-lint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if list {
+		sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lintkit.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			var unknown []string
+			for name := range keep {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "hcsgc-lint: unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
+			os.Exit(1)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcsgc-lint:", err)
+		os.Exit(1)
+	}
+	diags, err := run(cwd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcsgc-lint:", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		os.Exit(2)
+	}
+}
+
+// run loads the packages and applies the analyzers; split out of main for
+// the in-process tests.
+func run(dir string, patterns []string, analyzers []*lintkit.Analyzer) ([]lintkit.Diagnostic, error) {
+	pkgs, err := lintkit.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return lintkit.RunAnalyzers(pkgs, analyzers)
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcsgc/internal/analysis"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoClean is the suite's own acceptance bar: the repository must
+// carry zero invariant violations (annotations and fixes landed with the
+// analyzers). A failure here is a real finding — fix the code or, if the
+// new call site is legitimately GC-side, annotate it.
+func TestRepoClean(t *testing.T) {
+	diags, err := run(moduleRoot(t), []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected violation: %s", d)
+	}
+}
+
+// TestRegressionGuard proves the suite actually guards the invariants:
+// deliberately reverting the verifier's annotations in a scratch copy of
+// the module must re-surface both the barriercheck and stwonly findings.
+func TestRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies the module and shells out to go list")
+	}
+	root := moduleRoot(t)
+	tmp := t.TempDir()
+	copyModule(t, root, tmp)
+
+	verify := filepath.Join(tmp, "internal", "core", "verify.go")
+	src, err := os.ReadFile(verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reverted := strings.ReplaceAll(string(src), "//hcsgc:gc-thread", "//")
+	reverted = strings.ReplaceAll(reverted, "//hcsgc:stw-only", "//")
+	if reverted == string(src) {
+		t.Fatal("verify.go carries no annotations to revert; update this test")
+	}
+	if err := os.WriteFile(verify, []byte(reverted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := run(tmp, []string{"./internal/..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawBarrier, sawSTW bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "barriercheck":
+			sawBarrier = true // verifyObject's raw LoadWord lost its standing
+		case "stwonly":
+			sawSTW = true // verifyHeap may no longer call heap.VerifyAccounting
+		}
+	}
+	if !sawBarrier {
+		t.Error("reverting //hcsgc:gc-thread in verify.go raised no barriercheck diagnostic")
+	}
+	if !sawSTW {
+		t.Error("reverting //hcsgc:stw-only in verify.go raised no stwonly diagnostic")
+	}
+}
+
+// TestVetToolProtocol builds the binary and drives it exactly as
+// `go vet -vettool` does.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the lint binary")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "hcsgc-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hcsgc-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lint tool: %v\n%s", err, out)
+	}
+
+	version := exec.Command(bin, "-V=full")
+	out, err := version.Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "hcsgc-lint version") {
+		t.Errorf("-V=full output %q lacks a cacheable version line", out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/core/")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool on a clean package failed: %v\n%s", err, out)
+	}
+}
+
+// copyModule copies go.mod and every non-test Go file (plus testdata-free
+// directory structure) into dst, enough for `go list -export` to load the
+// production packages.
+func copyModule(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !strings.HasSuffix(rel, ".go") && rel != "go.mod" && rel != "go.sum" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

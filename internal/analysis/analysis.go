@@ -1,0 +1,39 @@
+// Package analysis aggregates the hcsgc-lint invariant checkers. Each
+// sub-package holds one analyzer; this package is the single registry the
+// driver (cmd/hcsgc-lint), the vet-tool mode and the regression tests all
+// share, so a new analyzer added to All is automatically wired into CI,
+// `go vet -vettool`, and the fixture harness.
+//
+// The checkers and the invariants they machine-check:
+//
+//	barriercheck   — raw heap word access only on GC threads or in the
+//	                 barrier implementation (//hcsgc:gc-thread,
+//	                 //hcsgc:barrier-impl)
+//	colorsafe      — reference color-bit arithmetic stays in heap/ref.go
+//	atomicword     — no mixed atomic/plain access to the same field
+//	stwonly        — //hcsgc:stw-only functions only run inside a pause
+//	telemetrynames — hcsgc_* metric naming and single registration
+//	faultpoints    — every fault injection point is wired (module-wide)
+package analysis
+
+import (
+	"hcsgc/internal/analysis/atomicword"
+	"hcsgc/internal/analysis/barriercheck"
+	"hcsgc/internal/analysis/colorsafe"
+	"hcsgc/internal/analysis/faultpoints"
+	"hcsgc/internal/analysis/lintkit"
+	"hcsgc/internal/analysis/stwonly"
+	"hcsgc/internal/analysis/telemetrynames"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		atomicword.Analyzer,
+		barriercheck.Analyzer,
+		colorsafe.Analyzer,
+		faultpoints.Analyzer,
+		stwonly.Analyzer,
+		telemetrynames.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package atomicword_test
+
+import (
+	"testing"
+
+	"hcsgc/internal/analysis/atomicword"
+	"hcsgc/internal/analysis/lintkit"
+)
+
+func TestAtomicWord(t *testing.T) {
+	lintkit.RunFixture(t, "testdata", "a", atomicword.Analyzer)
+}

@@ -1,0 +1,36 @@
+// Package a seeds atomicword violations: fields touched through
+// sync/atomic in one place and with plain loads or stores in another.
+package a
+
+import "sync/atomic"
+
+type page struct {
+	words  []uint64
+	seq    uint64
+	frozen uint64 // only ever plain: stays unflagged
+}
+
+// atomicPaths establishes the atomic contract for words elements and seq.
+func atomicPaths(p *page, i int) uint64 {
+	atomic.StoreUint64(&p.words[i], 7)
+	return atomic.LoadUint64(&p.seq)
+}
+
+// badPlainElem races the element store above.
+func badPlainElem(p *page, i int) uint64 {
+	return p.words[i] // want `elements of field words are accessed atomically elsewhere`
+}
+
+// badPlainScalar races the seq load above.
+func badPlainScalar(p *page) {
+	p.seq = 1 // want `field seq is accessed atomically elsewhere`
+}
+
+// goodHeaderOps exercises the legal whole-slice shapes: the contract
+// covers element memory, not the slice header.
+func goodHeaderOps(p *page) int {
+	p.words = nil
+	p.words = make([]uint64, 8)
+	p.frozen = 1
+	return len(p.words)
+}

@@ -1,0 +1,8 @@
+// Package atomic is a fixture stub of sync/atomic: the analyzer matches
+// by import path and function name, so empty bodies suffice.
+package atomic
+
+func LoadUint64(addr *uint64) uint64                          { return *addr }
+func StoreUint64(addr *uint64, val uint64)                    { *addr = val }
+func AddUint64(addr *uint64, delta uint64) uint64             { return 0 }
+func CompareAndSwapUint64(addr *uint64, old, new uint64) bool { return false }

@@ -1,0 +1,12 @@
+package barriercheck_test
+
+import (
+	"testing"
+
+	"hcsgc/internal/analysis/barriercheck"
+	"hcsgc/internal/analysis/lintkit"
+)
+
+func TestBarrierCheck(t *testing.T) {
+	lintkit.RunFixture(t, "testdata", "a", barriercheck.Analyzer)
+}

@@ -1,0 +1,12 @@
+package colorsafe_test
+
+import (
+	"testing"
+
+	"hcsgc/internal/analysis/colorsafe"
+	"hcsgc/internal/analysis/lintkit"
+)
+
+func TestColorSafe(t *testing.T) {
+	lintkit.RunFixture(t, "testdata", "a", colorsafe.Analyzer)
+}

@@ -1,0 +1,34 @@
+// Package a seeds colorsafe violations: raw layout-constant arithmetic
+// and hand-forged colored references outside ref.go.
+package a
+
+import "hcsgc/internal/heap"
+
+// badMask strips color bits by hand instead of calling Addr.
+func badMask(r heap.Ref) uint64 {
+	return uint64(r) & heap.AddrMask // want `raw color-bit arithmetic with heap\.AddrMask`
+}
+
+// badShift builds a color mask from the layout width.
+func badShift(k uint) uint64 {
+	return 1 << (heap.AddrBits + k) // want `raw color-bit arithmetic with heap\.AddrBits`
+}
+
+// badClear drops all colors with the raw mask.
+func badClear(raw uint64) uint64 {
+	return raw &^ heap.ColorMaskAll // want `raw color-bit arithmetic with heap\.ColorMaskAll`
+}
+
+// badForge builds a Ref from bit arithmetic instead of MakeRef.
+func badForge(addr, color uint64) heap.Ref {
+	return heap.Ref(addr | color<<40) // want `heap\.Ref built from raw bit arithmetic`
+}
+
+// goodHelpers is the sanctioned route.
+func goodHelpers(addr uint64) heap.Ref {
+	r := heap.MakeRef(addr, 1)
+	_ = r.Addr()
+	// A plain conversion without bit arithmetic stays legal: tests and
+	// serialization round-trip raw words.
+	return heap.Ref(addr)
+}

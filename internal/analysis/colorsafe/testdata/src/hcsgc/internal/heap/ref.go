@@ -1,0 +1,18 @@
+// Package heap is a fixture stub carrying the reference-layout surface
+// colorsafe guards. This file is named ref.go: the analyzer exempts it,
+// mirroring the real implementation file.
+package heap
+
+type Ref uint64
+
+type Color uint8
+
+const (
+	AddrBits     = 42
+	AddrMask     = (uint64(1) << AddrBits) - 1
+	ColorMaskAll = uint64(0x7) << AddrBits
+)
+
+func MakeRef(addr uint64, c Color) Ref { return Ref(addr | uint64(c)<<AddrBits) }
+
+func (r Ref) Addr() uint64 { return uint64(r) & AddrMask }

@@ -1,0 +1,19 @@
+package faultpoints_test
+
+import (
+	"testing"
+
+	"hcsgc/internal/analysis/faultpoints"
+	"hcsgc/internal/analysis/lintkit"
+)
+
+func TestOrphanedPointCaught(t *testing.T) {
+	lintkit.RunFixture(t, "testdata/bad", "a", faultpoints.Analyzer)
+}
+
+func TestFullyWiredStaysSilent(t *testing.T) {
+	// No want comments in the clean tree: RunFixture fails on any
+	// diagnostic, asserting the analyzer accepts package-internal uses
+	// (decision-table indexing) as wiring.
+	lintkit.RunFixture(t, "testdata/clean", "a", faultpoints.Analyzer)
+}

@@ -1,0 +1,8 @@
+// Package a wires only one of the stub's two injection points.
+package a
+
+import "hcsgc/internal/faultinject"
+
+func touch(inj *faultinject.Injector, addr uint64) {
+	inj.At(faultinject.Wired, addr)
+}

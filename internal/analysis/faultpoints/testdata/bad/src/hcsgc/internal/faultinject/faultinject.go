@@ -1,0 +1,15 @@
+// Package faultinject is a fixture stub declaring one wired and one
+// orphaned injection point.
+package faultinject
+
+type Point uint8
+
+const (
+	Wired  Point = iota
+	Orphan       // want `fault injection point Orphan has no production usage site`
+	NumPoints
+)
+
+type Injector struct{}
+
+func (inj *Injector) At(p Point, arg uint64) {}

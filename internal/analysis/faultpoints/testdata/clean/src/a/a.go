@@ -1,0 +1,8 @@
+// Package a wires the externally-consumed injection point.
+package a
+
+import "hcsgc/internal/faultinject"
+
+func touch(inj *faultinject.Injector, addr uint64) {
+	inj.At(faultinject.External, addr)
+}

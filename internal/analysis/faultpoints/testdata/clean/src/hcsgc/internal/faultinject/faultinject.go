@@ -1,0 +1,23 @@
+// Package faultinject is a fixture stub whose points are all wired —
+// including one consumed only inside the package itself, the decision
+// table shape (the real PageCommit/DriverTrigger pattern).
+package faultinject
+
+type Point uint8
+
+const (
+	External Point = iota
+	Internal
+	NumPoints
+)
+
+type Injector struct {
+	seq [NumPoints]uint64
+}
+
+func (inj *Injector) At(p Point, arg uint64) {}
+
+func (inj *Injector) Decide() bool {
+	inj.seq[Internal]++
+	return false
+}

@@ -1,0 +1,76 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func funcDecls(t *testing.T, src string) map[string]*ast.FuncDecl {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]*ast.FuncDecl)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			out[fd.Name.Name] = fd
+		}
+	}
+	return out
+}
+
+func TestDirectives(t *testing.T) {
+	const src = `package p
+
+// foo does things.
+//
+//hcsgc:gc-thread
+//hcsgc:stw-only reason text after the name is ignored
+func foo() {}
+
+// bar has no directives.
+func bar() {}
+`
+	decls := funcDecls(t, src)
+	foo, bar := decls["foo"], decls["bar"]
+
+	if got := Directives(foo); len(got) != 2 || got[0] != "gc-thread" || got[1] != "stw-only" {
+		t.Errorf("Directives(foo) = %v, want [gc-thread stw-only]", got)
+	}
+	if !HasDirective(foo, "stw-only") || HasDirective(foo, "barrier-impl") {
+		t.Error("HasDirective(foo) misclassified")
+	}
+	if got := Directives(bar); got != nil {
+		t.Errorf("Directives(bar) = %v, want nil", got)
+	}
+	if HasDirective(nil, "gc-thread") {
+		t.Error("HasDirective(nil) = true")
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "b.go", Line: 1}, Analyzer: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 9}, Analyzer: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 2, Column: 5}, Analyzer: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 2, Column: 5}, Analyzer: "a"},
+	}
+	SortDiagnostics(diags)
+	want := []struct {
+		file     string
+		line     int
+		analyzer string
+	}{
+		{"a.go", 2, "a"}, {"a.go", 2, "z"}, {"a.go", 9, "z"}, {"b.go", 1, "z"},
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Pos.Filename != w.file || d.Pos.Line != w.line || d.Analyzer != w.analyzer {
+			t.Fatalf("diags[%d] = %v, want %s:%d [%s]", i, d, w.file, w.line, w.analyzer)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package lintkit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig is the JSON the go command hands a -vettool for each package
+// (the x/tools unitchecker protocol). Field names and semantics follow
+// cmd/go/internal/work's vet action.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// MaybeRunVetTool inspects argv and, when the process is being driven by
+// `go vet -vettool=...`, speaks the unit-checker protocol and exits. It
+// returns normally (false) when argv looks like a plain standalone
+// invocation, so main can fall through to the pattern-based driver.
+//
+// Protocol:
+//
+//	tool -V=full      print a version line the go command can cache on
+//	tool -flags       print the JSON flag schema (we expose none)
+//	tool foo.cfg      analyze one package described by the config
+//
+// Module-wide analyzers (RunModule) do not run here: the protocol hands
+// the tool one package at a time, exactly like x/tools analyzers without
+// facts. CI runs the standalone driver for full coverage.
+func MaybeRunVetTool(analyzers []*Analyzer) bool {
+	args := os.Args[1:]
+	if len(args) != 1 {
+		return false
+	}
+	switch {
+	case args[0] == "-V=full" || args[0] == "--V=full":
+		printVersion()
+		os.Exit(0)
+	case args[0] == "-flags" || args[0] == "--flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case strings.HasSuffix(args[0], ".cfg"):
+		diags, err := runVetUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			os.Exit(2)
+		}
+		os.Exit(0)
+	}
+	return false
+}
+
+// printVersion emits the -V=full line. The go command uses it as the
+// tool's cache key, so it must change when the binary does: a content
+// hash of the executable keeps stale caches from hiding new checks.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	sum := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				sum = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, sum)
+}
+
+// runVetUnit analyzes the single package described by the vet config.
+func runVetUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+
+	// The go command treats VetxOutput as a declared build output; write
+	// it even when producing no facts (this tool keeps none).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("hcsgc-lint: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    collect,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, cfg.ImportPath, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}

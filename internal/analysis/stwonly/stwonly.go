@@ -1,0 +1,151 @@
+// Package stwonly enforces the pause discipline: a function annotated
+// //hcsgc:stw-only assumes every mutator is parked at a safepoint — the
+// heap verifier walks pages with plain loads, retireAllocationPages takes
+// pages out from under the allocator, root flips are not atomic. Calling
+// one concurrently is the exact bug class the PR 3 chaos soak exists to
+// surface dynamically; this pass rejects it statically.
+//
+// A call to an stw-only function is legal only when the caller
+//
+//   - is itself annotated //hcsgc:stw-only (the pause property is
+//     inherited transitively up to the pause owner), or
+//   - owns the pause: its body both stops and resumes the world (calls a
+//     stopTheWorld/stopTheWorldTimed function and a resumeTheWorld
+//     function), like the collector's runCycle. Code inside closures the
+//     owner passes into the pause inherits the owner's standing.
+//
+// The per-package pass checks calls to stw-only functions declared in the
+// same package; the module pass (standalone driver only) additionally
+// resolves cross-package calls, e.g. core's verifier invoking
+// heap.VerifyAccounting.
+package stwonly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hcsgc/internal/analysis/lintkit"
+)
+
+// Analyzer is the stwonly pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "stwonly",
+	Doc: "functions annotated //hcsgc:stw-only may only be called from other " +
+		"stw-only functions or from the pause owner (a function that both stops " +
+		"and resumes the world)",
+	Run:       func(p *lintkit.Pass) error { return check([]*lintkit.Pass{p}, false) },
+	RunModule: func(m *lintkit.ModulePass) error { return check(m.Pkgs, true) },
+}
+
+// check walks the given passes. With crossOnly set it reports only calls
+// whose callee lives in a different package than the caller (the module
+// pass), otherwise only same-package calls (the per-package pass) — the
+// split keeps the two passes from double-reporting under the standalone
+// driver, which runs both.
+func check(passes []*lintkit.Pass, crossOnly bool) error {
+	stw := make(map[string]bool)
+	for _, p := range passes {
+		for _, file := range p.Files {
+			if p.IsTestFile(file.Pos()) {
+				continue
+			}
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || !lintkit.HasDirective(decl, "stw-only") {
+					continue
+				}
+				if f, ok := p.TypesInfo.Defs[decl.Name].(*types.Func); ok && f != nil {
+					stw[funcKey(f)] = true
+				}
+			}
+		}
+	}
+	if len(stw) == 0 {
+		return nil
+	}
+
+	for _, p := range passes {
+		p := p
+		lintkit.ForEachFuncNode(p, true, func(decl *ast.FuncDecl, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := lintkit.FuncOf(p.TypesInfo, call.Fun)
+			if callee == nil || callee.Pkg() == nil || !stw[funcKey(callee)] {
+				return true
+			}
+			if crossOnly == (callee.Pkg().Path() == p.Pkg.Path()) {
+				return true // the other pass owns this call
+			}
+			if lintkit.HasDirective(decl, "stw-only") || isPauseOwner(decl) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"call to stop-the-world-only function %s from %s, which is neither "+
+					"//hcsgc:stw-only nor a pause owner (stops and resumes the world)",
+				callee.Name(), decl.Name.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// funcKey identifies a function across separately type-checked packages
+// (source-checked here, export-data there) by path, receiver and name.
+func funcKey(f *types.Func) string {
+	recv := ""
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := recvTypeName(sig.Recv().Type()); n != "" {
+			recv = n + "."
+		}
+	}
+	return f.Pkg().Path() + "." + recv + f.Name()
+}
+
+func recvTypeName(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj().Name()
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return ""
+		}
+	}
+}
+
+// isPauseOwner reports whether the function body both stops and resumes
+// the world. The match is by callee name — stopTheWorld, stopTheWorldTimed
+// and resumeTheWorld are the repo's pause primitives regardless of which
+// type they hang off — so the check stays robust across refactors of the
+// safepoint plumbing.
+func isPauseOwner(decl *ast.FuncDecl) bool {
+	var stops, resumes bool
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		default:
+			return true
+		}
+		switch name {
+		case "stopTheWorld", "stopTheWorldTimed", "StopTheWorld":
+			stops = true
+		case "resumeTheWorld", "ResumeTheWorld":
+			resumes = true
+		}
+		return true
+	})
+	return stops && resumes
+}

@@ -1,0 +1,15 @@
+package stwonly_test
+
+import (
+	"testing"
+
+	"hcsgc/internal/analysis/lintkit"
+	"hcsgc/internal/analysis/stwonly"
+)
+
+func TestSTWOnly(t *testing.T) {
+	// Loading b pulls in a; RunFixture analyzes both, so this covers the
+	// per-package pass (a's internal call sites) and the module pass (b's
+	// cross-package calls into a).
+	lintkit.RunFixture(t, "testdata", "b", stwonly.Analyzer)
+}

@@ -1,0 +1,29 @@
+// Package a declares stw-only functions plus the safepoint primitives the
+// pause-owner heuristic keys on.
+package a
+
+func stopTheWorldTimed() {}
+func resumeTheWorld()    {}
+
+// VerifyAll requires a stopped world.
+//
+//hcsgc:stw-only
+func VerifyAll() { verifyOne() }
+
+// verifyOne inherits the pause via its stw-only caller.
+//
+//hcsgc:stw-only
+func verifyOne() {}
+
+// RunCycle owns the pause: it stops and resumes the world, so calls in
+// between (including from closures) are legal.
+func RunCycle() {
+	stopTheWorldTimed()
+	func() { VerifyAll() }()
+	resumeTheWorld()
+}
+
+// badConcurrent calls into the pause-only path with the world running.
+func badConcurrent() {
+	verifyOne() // want `call to stop-the-world-only function verifyOne`
+}

@@ -1,0 +1,20 @@
+// Package b exercises the cross-package half of the check (the module
+// pass): a's annotations must travel across the import edge.
+package b
+
+import "a"
+
+func stopTheWorldTimed() {}
+func resumeTheWorld()    {}
+
+// GoodOwner owns its pause and may call a's stw-only API.
+func GoodOwner() {
+	stopTheWorldTimed()
+	a.VerifyAll()
+	resumeTheWorld()
+}
+
+// badCrossPackage has no standing in either package.
+func badCrossPackage() {
+	a.VerifyAll() // want `call to stop-the-world-only function VerifyAll`
+}

@@ -1,0 +1,132 @@
+// Package telemetrynames keeps the metrics namespace coherent. Every
+// metric registered on a telemetry.Registry (Counter, Gauge, Histogram)
+// must be named `hcsgc_<snake_case>` — the exporters emit names verbatim,
+// so a stray `HcsgcPauseNs` or `pause-ns` silently forks the dashboard
+// namespace.
+//
+// The registry is Prometheus-shaped: registering the same family name
+// from several sites with different label values is the intended pattern
+// (hcsgc_reloc_objects_total{who="gc"} and {who="mutator"}). What must
+// stay consistent across those sites, and what this pass checks:
+//
+//   - kind: the same name registered as Counter at one site and Gauge at
+//     another panics at runtime (Registry.family);
+//   - help: family() silently keeps the first help string, so divergent
+//     help text at a second site is dead and the dashboards lie;
+//   - labels come in key/value pairs: an odd argument count panics in
+//     labelKey at first use.
+//
+// Names built at runtime (fmt.Sprintf in a loop) cannot be validated
+// statically and are skipped; label-pair parity is checked regardless.
+package telemetrynames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+
+	"hcsgc/internal/analysis/lintkit"
+)
+
+// telemetryPkg is the import path of the metrics registry.
+const telemetryPkg = "hcsgc/internal/telemetry"
+
+// registerMethods maps (*telemetry.Registry) constructor name -> index of
+// the first label argument (name and help precede it; Histogram also takes
+// bucket bounds).
+var registerMethods = map[string]int{
+	"Counter":   2,
+	"Gauge":     2,
+	"Histogram": 3,
+}
+
+// nameRE is the required shape of a metric name.
+var nameRE = regexp.MustCompile(`^hcsgc_[a-z0-9_]+$`)
+
+// Analyzer is the telemetrynames pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "telemetrynames",
+	Doc: "metric names registered on telemetry.Registry must match " +
+		"^hcsgc_[a-z0-9_]+$, and a family must be registered consistently: " +
+		"same kind, same help text, labels in key/value pairs",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	type familySite struct {
+		pos  token.Pos
+		kind string
+		help string // "" when not a compile-time constant
+	}
+	first := make(map[string]familySite)
+
+	constString := func(e ast.Expr) (string, bool) {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", false
+		}
+		return constant.StringVal(tv.Value), true
+	}
+
+	lintkit.ForEachFuncNode(pass, true, func(decl *ast.FuncDecl, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		f := lintkit.FuncOf(pass.TypesInfo, call.Fun)
+		if f == nil {
+			return true
+		}
+		labelStart, isReg := registerMethods[f.Name()]
+		if !isReg || !lintkit.IsMethod(f, telemetryPkg, "Registry", f.Name()) {
+			return true
+		}
+
+		// Label pairs: statically countable unless spread with `labels...`.
+		if call.Ellipsis == token.NoPos && len(call.Args) > labelStart &&
+			(len(call.Args)-labelStart)%2 != 0 {
+			pass.Reportf(call.Args[labelStart].Pos(),
+				"odd number of label arguments to Registry.%s: labels are "+
+					"(\"key\", \"value\") pairs; this panics in labelKey at first use",
+				f.Name())
+		}
+
+		name, ok := constString(call.Args[0])
+		if !ok {
+			return true // runtime-built name: not statically checkable
+		}
+		if !nameRE.MatchString(name) {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name %q does not match ^hcsgc_[a-z0-9_]+$ "+
+					"(exporters emit names verbatim; keep the namespace uniform)",
+				name)
+			return true
+		}
+
+		help := ""
+		if len(call.Args) > 1 {
+			help, _ = constString(call.Args[1])
+		}
+		prev, seen := first[name]
+		if !seen {
+			first[name] = familySite{pos: call.Args[0].Pos(), kind: f.Name(), help: help}
+			return true
+		}
+		if prev.kind != f.Name() {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric %q registered as %s here but as %s at %s: "+
+					"Registry.family panics on kind mismatch at runtime",
+				name, f.Name(), prev.kind, pass.Fset.Position(prev.pos))
+			return true
+		}
+		if prev.help != "" && help != "" && prev.help != help {
+			pass.Reportf(call.Args[1].Pos(),
+				"metric %q registered with different help text than at %s: "+
+					"the registry keeps the first help string, this one is dead",
+				name, pass.Fset.Position(prev.pos))
+		}
+		return true
+	})
+	return nil
+}

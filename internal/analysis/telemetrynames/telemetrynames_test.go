@@ -1,0 +1,12 @@
+package telemetrynames_test
+
+import (
+	"testing"
+
+	"hcsgc/internal/analysis/lintkit"
+	"hcsgc/internal/analysis/telemetrynames"
+)
+
+func TestTelemetryNames(t *testing.T) {
+	lintkit.RunFixture(t, "testdata", "a", telemetrynames.Analyzer)
+}

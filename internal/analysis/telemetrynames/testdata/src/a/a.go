@@ -1,0 +1,29 @@
+// Package a seeds telemetrynames violations: malformed names and
+// inconsistent family registrations.
+package a
+
+import "hcsgc/internal/telemetry"
+
+func register(reg *telemetry.Registry, suffix string) {
+	reg.Counter("gc_cycles_total", "Missing prefix.")          // want `does not match \^hcsgc_`
+	reg.Gauge("hcsgc_HeapUsed", "Camel case.")                 // want `does not match \^hcsgc_`
+	reg.Counter("hcsgc_pause-cycles", "Dash, not underscore.") // want `does not match \^hcsgc_`
+
+	// The Prometheus family pattern: same name, same help, different
+	// label values — legal.
+	reg.Counter("hcsgc_reloc_total", "Relocations.", "who", "gc")
+	reg.Counter("hcsgc_reloc_total", "Relocations.", "who", "mutator")
+
+	// Same name, different kind: panics in Registry.family at runtime.
+	reg.Gauge("hcsgc_reloc_total", "Relocations.") // want `registered as Gauge here but as Counter`
+
+	// Same name, divergent help: the second string is silently dead.
+	reg.Counter("hcsgc_stalls_total", "Allocation stalls.")
+	reg.Counter("hcsgc_stalls_total", "Stalls while allocating.") // want `registered with different help text`
+
+	// Odd label arguments panic in labelKey at first use.
+	reg.Counter("hcsgc_odd_total", "Odd labels.", "who") // want `odd number of label arguments`
+
+	// Runtime-built names are skipped: not statically checkable.
+	reg.Counter("hcsgc_pause_"+suffix, "Dynamic name.")
+}

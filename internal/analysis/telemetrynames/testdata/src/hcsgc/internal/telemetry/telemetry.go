@@ -1,0 +1,14 @@
+// Package telemetry is a fixture stub of the metrics registry surface.
+package telemetry
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return nil }
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge     { return nil }
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return nil
+}

@@ -345,6 +345,8 @@ func (c *Collector) drainRelocation(cs *CycleStats) {
 // TLABs, GC relocation targets, the shared medium page) so that pages
 // allocated before STW1 are frozen: nothing allocates into them again and
 // their livemaps are authoritative after marking.
+//
+//hcsgc:stw-only
 func (c *Collector) retireAllocationPages() {
 	c.inj.At(faultinject.PageRetire, 0)
 	c.forEachMutator(func(m *Mutator) { m.tlab = nil })
@@ -385,6 +387,8 @@ func (c *Collector) totalMarkedBytes() uint64 {
 
 // beginPauseAccounting snapshots the pause core's cycle counter plus the
 // explicit pause cost ledger.
+//
+//hcsgc:stw-only
 func (c *Collector) beginPauseAccounting() uint64 {
 	var base uint64
 	if c.pauseCore != nil {
@@ -393,6 +397,9 @@ func (c *Collector) beginPauseAccounting() uint64 {
 	return base + c.pauseExtra
 }
 
+// endPauseAccounting returns the simulated cycles spent since base.
+//
+//hcsgc:stw-only
 func (c *Collector) endPauseAccounting(base uint64) uint64 {
 	var cur uint64
 	if c.pauseCore != nil {

@@ -176,6 +176,11 @@ func mustAlloc(ref heap.Ref, err error) heap.Ref {
 	return ref
 }
 
+// allocWords carves out the object, writes its header and returns a
+// good-colored reference; new objects need no barrier before first
+// publication.
+//
+//hcsgc:barrier-impl
 func (m *Mutator) allocWords(sizeWords int, typeID uint16) (heap.Ref, error) {
 	m.Safepoint()
 	size := uint64(sizeWords) * heap.WordSize
@@ -316,6 +321,8 @@ func (m *Mutator) LoadRoot(i int) heap.Ref {
 
 // LoadRef loads the reference in field (or ref-array element) i of obj,
 // applying the load barrier and self-healing the slot.
+//
+//hcsgc:barrier-impl
 func (m *Mutator) LoadRef(obj heap.Ref, i int) heap.Ref {
 	slot := objmodel.FieldAddr(obj.Addr(), i)
 	m.probe.Access(slot)
@@ -332,6 +339,8 @@ func (m *Mutator) LoadRef(obj heap.Ref, i int) heap.Ref {
 // StoreRef stores val into field (or ref-array element) i of obj. val
 // must be null or a reference obtained during the current era (good
 // color), which every Alloc/LoadRef/LoadRoot result is.
+//
+//hcsgc:barrier-impl
 func (m *Mutator) StoreRef(obj heap.Ref, i int, val heap.Ref) {
 	if !val.IsNull() && val.Color() != m.c.Good() {
 		panic(fmt.Sprintf("core: storing stale reference %v (good is %v); references must not be held across safepoints", val, m.c.Good()))
@@ -342,6 +351,8 @@ func (m *Mutator) StoreRef(obj heap.Ref, i int, val heap.Ref) {
 }
 
 // LoadField loads the data word in field i of obj.
+//
+//hcsgc:barrier-impl
 func (m *Mutator) LoadField(obj heap.Ref, i int) uint64 {
 	slot := objmodel.FieldAddr(obj.Addr(), i)
 	m.probe.Access(slot)
@@ -349,13 +360,19 @@ func (m *Mutator) LoadField(obj heap.Ref, i int) uint64 {
 }
 
 // StoreField stores a data word into field i of obj.
+//
+//hcsgc:barrier-impl
 func (m *Mutator) StoreField(obj heap.Ref, i int, v uint64) {
 	slot := objmodel.FieldAddr(obj.Addr(), i)
 	m.probe.Access(slot)
 	m.c.heap.StoreWord(m.core, slot, v)
 }
 
-// ArrayLen returns the element count of the array obj.
+// ArrayLen returns the element count of the array obj. The header word
+// is read raw: array lengths are immutable after allocation, so the slot
+// can never hold a stale reference for the barrier to heal.
+//
+//hcsgc:barrier-impl
 func (m *Mutator) ArrayLen(obj heap.Ref) int {
 	m.probe.Access(obj.Addr())
 	return objmodel.ArrayLen(m.c.heap.LoadWord(m.core, obj.Addr()))

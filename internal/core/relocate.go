@@ -84,6 +84,9 @@ func smallishClass(c *Collector, size uint64) heap.Class {
 // relocated and returns its new address. This is the shared routine behind
 // the mutator load-barrier slow path, the GC drain, and STW3 root
 // processing; the forwarding-table CAS decides the race (§2.2 RE).
+//
+//hcsgc:gc-thread
+//hcsgc:barrier-impl
 func (c *Collector) relocateObject(ctx *relocCtx, addr uint64, p *heap.Page) uint64 {
 	fwd := p.Forwarding()
 	if fwd == nil {

@@ -5,6 +5,9 @@ import "hcsgc/internal/heap"
 // processRootMark handles one root slot during STW1: remap through any
 // previous-era forwarding, mark the object, and heal the slot with the new
 // mark color. Newly grayed objects are appended to grays.
+//
+//hcsgc:gc-thread
+//hcsgc:stw-only
 func (c *Collector) processRootMark(m *Mutator, i int, grays []uint64) []uint64 {
 	raw := m.roots[i]
 	if raw.IsNull() {
@@ -25,6 +28,9 @@ func (c *Collector) processRootMark(m *Mutator, i int, grays []uint64) []uint64 
 // target if it sits on an evacuation candidate, and heal the slot with the
 // R color. "By the end of STW3, all roots pointing into EC are relocated"
 // (§2.2).
+//
+//hcsgc:gc-thread
+//hcsgc:stw-only
 func (c *Collector) processRootRelocate(m *Mutator, i int) {
 	raw := m.roots[i]
 	if raw.IsNull() {

@@ -111,6 +111,8 @@ func (c *Collector) stopTheWorldTimed(pause telemetry.SpanID) {
 // recordMarkEnd publishes mark-end observations: marked live bytes and
 // the hotmap density over hot-trackable pages subject to this mark. Runs
 // inside STW2 (the page set is frozen) and only when telemetry is on.
+//
+//hcsgc:stw-only
 func (c *Collector) recordMarkEnd(cs *CycleStats) {
 	if !c.tm.enabled {
 		return
@@ -136,6 +138,8 @@ func (c *Collector) recordMarkEnd(cs *CycleStats) {
 // (inside STW2, while the page set is frozen and the hotmap is fresh) for
 // the locality profiler and the per-cycle stats. Skipped — one predictable
 // branch — when neither telemetry nor the locality profiler is attached.
+//
+//hcsgc:stw-only
 func (c *Collector) recordSegregation(cs *CycleStats) {
 	if !c.tm.enabled && c.cfg.Locality == nil {
 		cs.SegregationPurity = -1

@@ -22,6 +22,9 @@ import (
 //
 // The walks deliberately read through heap.LoadWord with a nil core:
 // verification must not perturb the cache model it is checking.
+//
+//hcsgc:gc-thread
+//hcsgc:stw-only
 func (c *Collector) verifyHeap(phase string) {
 	v := c.heap.Verifier()
 	if v == nil {
@@ -42,6 +45,9 @@ func (c *Collector) verifyHeap(phase string) {
 // hold dead objects and — on relocation-target pages — discarded loser
 // copies whose UndoAlloc could not rewind past a later allocation, and
 // neither is reachable, so a contiguous header walk would false-positive.
+//
+//hcsgc:gc-thread
+//hcsgc:stw-only
 func (c *Collector) verifyMarkedObjects(v *heap.Verifier, phase string) {
 	good := c.Good()
 	startSeq := c.startSeq.Load()
@@ -67,6 +73,9 @@ func (c *Collector) verifyMarkedObjects(v *heap.Verifier, phase string) {
 // verifyObject checks one marked object: a sane header that keeps the
 // object inside its page, and every reference field healed to the good
 // color and pointing at a live target.
+//
+//hcsgc:gc-thread
+//hcsgc:stw-only
 func (c *Collector) verifyObject(v *heap.Verifier, phase string, p *heap.Page, addr uint64, good heap.Color, startSeq uint64) {
 	header := c.heap.LoadWord(nil, addr)
 	sizeWords, typeID := objmodel.DecodeHeader(header)
@@ -114,6 +123,9 @@ func (c *Collector) verifyObject(v *heap.Verifier, phase string, p *heap.Page, a
 // forwarding entry published so far (STW3 root relocation has already run)
 // must map into a live destination page, not back into an evacuating or
 // freed one.
+//
+//hcsgc:gc-thread
+//hcsgc:stw-only
 func (c *Collector) verifyForwarding(v *heap.Verifier, phase string) {
 	for _, p := range c.ecPages {
 		fwd := p.Forwarding()

@@ -62,6 +62,8 @@ func (w *gcWorker) markLoop() {
 
 // scanObject traces one object's reference fields, remapping and healing
 // stale slots and pushing newly marked objects.
+//
+//hcsgc:gc-thread
 func (w *gcWorker) scanObject(addr uint64) {
 	c := w.c
 	header := c.heap.LoadWord(w.core, addr)
@@ -108,6 +110,12 @@ func (c *Collector) remapStale(core *simmem.Core, raw heap.Ref) (addr uint64, wa
 // STW1 are implicitly live and never pushed: any reference to them was
 // created during this era and already carries the good color, as do all
 // references reachable from them.
+//
+// Shared machinery: GC workers reach it from scanObject, mutators from
+// the barrier slow path (mark-assist), hence both annotations.
+//
+//hcsgc:gc-thread
+//hcsgc:barrier-impl
 func (c *Collector) markObject(core *simmem.Core, addr uint64, hot bool) (pushed bool, cost uint64) {
 	p := c.heap.PageOf(addr)
 	if p == nil {

@@ -274,6 +274,8 @@ func (h *Heap) Verifier() *Verifier { return h.verifier.Load() }
 // attached verifier. Must run under STW (or with page alloc/free otherwise
 // quiescent); a mismatch means a page was leaked from or double-counted in
 // the committed-bytes budget that drives the GC trigger.
+//
+//hcsgc:stw-only
 func (h *Heap) VerifyAccounting(phase string) {
 	v := h.Verifier()
 	if v == nil {
