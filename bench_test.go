@@ -178,6 +178,42 @@ func BenchmarkFaultInjectOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkLatencyOverhead measures the cost of the latency attribution
+// plane on a representative workload run: "off" disables the tracker —
+// every recording site reduces to one predictable nil check — while
+// "always-on" is the production default, with HDR pause/phase recording,
+// MMU bookkeeping, barrier-hit counters and the flight-recorder ring all
+// live. The acceptance bar is "always-on" within noise of "off": exact
+// barrier hits are single atomic adds, latencies are 1-in-64 sampled, and
+// everything else runs at cycle boundaries.
+func BenchmarkLatencyOverhead(b *testing.B) {
+	w, err := workloads.Get("fig4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	knobs := bench.KnobsFor(4)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"off", true},
+		{"always-on", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(workloads.RunConfig{
+					Knobs:          knobs,
+					Seed:           int64(i + 1),
+					Scale:          benchScale,
+					DisableLatency: mode.disable,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1PageAlloc measures the page allocator underlying the
 // Table 1 size classes.
 func BenchmarkTable1PageAlloc(b *testing.B) {

@@ -40,6 +40,9 @@ func main() {
 		locShift = flag.Uint("locality-shift", 4, "locality sampling knob: one burst per 2^shift accesses")
 		locJSON  = flag.String("locality-json", "", "also write the locality A/B report as JSON to this file")
 
+		latMode = flag.Bool("latency-report", false, "run a latency A/B report instead: pause/phase HDR percentiles, MMU ladder, barrier profile (-configs picks base,test; default 3,4)")
+		latJSON = flag.String("latency-json", "", "also write the latency A/B report as JSON to this file")
+
 		chaosMode = flag.Bool("chaos", false, "run a chaos soak instead: seeded fault schedules with the STW heap verifier on")
 		chaosSeed = flag.Int64("chaos-seed", 1, "base seed; run r uses seed chaos-seed+r (replay a failure with its printed seed and -chaos-runs 1)")
 		chaosRuns = flag.Int("chaos-runs", 0, "soak runs (0 = 20)")
@@ -84,6 +87,13 @@ func main() {
 	if *locMode {
 		if err := runLocality(*exp, *runs, *scale, *seed, *configs, *locShift, *locJSON, *quiet, sink); err != nil {
 			fmt.Fprintf(os.Stderr, "hcsgc-bench: locality: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *latMode {
+		if err := runLatency(*exp, *runs, *scale, *seed, *configs, *latJSON, *quiet, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: latency: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -226,6 +236,51 @@ func runLocality(exp string, runs int, scale float64, seed int64, configs string
 	return nil
 }
 
+// runLatency runs the -latency-report A/B mode: the experiment's workload
+// under a baseline and a test configuration with a fresh latency tracker
+// per run, printing the side-by-side pause/phase/MMU/barrier report and
+// optionally writing the JSON artifact. With -telemetry-addr, in-flight
+// runs serve live on /mmu and /flightrecorder.
+func runLatency(exp string, runs int, scale float64, seed int64, configs string, jsonPath string, quiet bool, sink *hcsgc.TelemetrySink) error {
+	if exp == "" || exp == "all" {
+		exp = "fig4"
+	}
+	base, test := 3, 4 // RelocateAllSmallPages vs +LazyRelocate (the shift story)
+	if configs != "" {
+		ids, err := parseConfigs(configs)
+		if err != nil {
+			return err
+		}
+		if len(ids) != 2 {
+			return fmt.Errorf("-latency-report needs exactly two config ids (base,test), got %d", len(ids))
+		}
+		base, test = ids[0], ids[1]
+	}
+	progress := bench.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	ab, err := bench.RunLatencyAB(exp, runs, scale, seed, base, test, sink, progress)
+	if err != nil {
+		return err
+	}
+	if err := bench.ValidateLatencyAB(ab); err != nil {
+		return err
+	}
+	bench.WriteLatencyReport(os.Stdout, ab)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteLatencyJSON(f, ab); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runChaosSoak runs the -chaos mode: a seed sweep of randomized fault
 // schedules with the STW heap verifier attached to every run. The report
 // leads each failure with the reproducer command line; gclogs of failed
@@ -255,6 +310,9 @@ func runChaosSoak(exp string, runs int, scale float64, baseSeed int64, outPath s
 		for _, r := range res.Runs {
 			if r.GCLog != "" {
 				fmt.Fprintf(f, "\n=== gclog seed %d ===\n%s", r.Seed, r.GCLog)
+			}
+			if r.FlightDump != "" {
+				fmt.Fprintf(f, "\n=== flight recorder seed %d ===\n%s", r.Seed, r.FlightDump)
 			}
 		}
 	}

@@ -56,7 +56,6 @@ func TestRunOneWithTelemetry(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"hcsgc_gc_cycles_total",
-		"hcsgc_pause_cycles_bucket",
 		`hcsgc_reloc_objects_total{who="gc"}`,
 		`hcsgc_reloc_objects_total{who="mutator"}`,
 		"hcsgc_page_hotmap_density",
@@ -64,5 +63,37 @@ func TestRunOneWithTelemetry(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// TestRunLatencyTiny drives the -latency-report mode end to end on a tiny
+// workload, with the telemetry sink attached so the HDR summaries and MMU
+// gauges land in the exposition.
+func TestRunLatencyTiny(t *testing.T) {
+	sink := hcsgc.NewTelemetrySink()
+	// Scale 0.03 is the smallest fig4 that actually triggers GC cycles
+	// (ValidateLatencyAB requires recorded pauses).
+	if err := runLatency("fig4", 1, 0.03, 1, "3,4", "", true, sink); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	sink.Metrics().WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE hcsgc_pause_cycles summary",
+		`hcsgc_pause_cycles{phase="stw1",quantile="0.99"}`,
+		`hcsgc_mmu_ratio{window_cycles="100000"}`,
+		`hcsgc_barrier_path_total{path="relocate"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRunLatencyBadConfigs rejects a malformed -configs pair.
+func TestRunLatencyBadConfigs(t *testing.T) {
+	if err := runLatency("fig4", 1, 0.005, 1, "3", "", true, nil); err == nil {
+		t.Fatal("single config id must error")
 	}
 }

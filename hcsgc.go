@@ -24,6 +24,7 @@
 package hcsgc
 
 import (
+	"io"
 	"sync"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
 	"hcsgc/internal/telemetry"
+	"hcsgc/internal/telemetry/latency"
 )
 
 // Re-exported types so users never import internal packages.
@@ -84,6 +86,21 @@ type (
 	// panic of the legacy Alloc wrappers) when the allocation-stall retry
 	// budget is exhausted.
 	OutOfMemoryError = core.OutOfMemoryError
+	// LatencyTracker is the latency-attribution plane: HDR pause/phase/
+	// stall distributions, MMU curves, barrier slow-path profiling and the
+	// flight recorder (see internal/telemetry/latency). On by default;
+	// Options.DisableLatency turns it off.
+	LatencyTracker = latency.Tracker
+	// LatencyConfig tunes the latency tracker.
+	LatencyConfig = latency.Config
+	// LatencyReport is a latency-tracker snapshot.
+	LatencyReport = latency.Report
+	// LatencyDist is one HDR distribution summary inside a LatencyReport.
+	LatencyDist = latency.Dist
+	// FlightRecord is one GC cycle's flight-recorder entry.
+	FlightRecord = latency.CycleRecord
+	// MMUReport is the minimum-mutator-utilization curve snapshot.
+	MMUReport = latency.MMUReport
 )
 
 // Sentinel errors for errors.Is against allocation failures.
@@ -118,6 +135,11 @@ func NewTelemetrySink() *TelemetrySink { return telemetry.NewSink() }
 // the profiler's metrics into the sink's registry and serves its report
 // on the sink's /locality endpoint.
 func NewLocalityProfiler(cfg LocalityConfig) *LocalityProfiler { return locality.New(cfg) }
+
+// NewLatencyTracker builds a latency tracker with a non-default
+// configuration. Pass it via Options.Latency; a runtime without one (and
+// without DisableLatency) creates a default tracker itself.
+func NewLatencyTracker(cfg LatencyConfig) *LatencyTracker { return latency.New(cfg) }
 
 // NullRef is the null reference.
 const NullRef = heap.NullRef
@@ -164,6 +186,14 @@ type Options struct {
 	// Locality attaches a sampling locality profiler (nil = disabled;
 	// each mutator access site then costs one predictable branch).
 	Locality *LocalityProfiler
+	// Latency overrides the latency tracker (HDR pause/phase/stall
+	// distributions, MMU, barrier profile, flight recorder). Nil = the
+	// runtime builds one with default configuration; the plane is
+	// always-on unless DisableLatency is set.
+	Latency *LatencyTracker
+	// DisableLatency turns the latency-attribution plane off entirely
+	// (each instrumentation site then costs one predictable branch).
+	DisableLatency bool
 	// FaultInjector arms the fault-injection plane (nil = disarmed; each
 	// injection point then costs one predictable branch).
 	FaultInjector *FaultInjector
@@ -187,6 +217,8 @@ type Runtime struct {
 	Mem       *simmem.Hierarchy // nil when DisableMemModel
 	Types     *objmodel.Registry
 	Machine   Machine
+	// Latency is the runtime's latency tracker; nil when DisableLatency.
+	Latency *LatencyTracker
 
 	mu       sync.Mutex
 	mutators []*Mutator
@@ -219,6 +251,13 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		}
 		h.SetVerifier(opts.Verifier)
 	}
+	lat := opts.Latency
+	if lat == nil && !opts.DisableLatency {
+		lat = latency.New(latency.Config{})
+	}
+	if opts.DisableLatency {
+		lat = nil
+	}
 	types := objmodel.NewRegistry()
 	col, err := core.New(h, types, core.Config{
 		Knobs:          opts.Knobs,
@@ -228,6 +267,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		EvacThreshold:  opts.EvacThreshold,
 		Telemetry:      opts.Telemetry,
 		Locality:       opts.Locality,
+		Latency:        lat,
 		FaultInjector:  opts.FaultInjector,
 		StallRetries:   opts.StallRetries,
 		StallBackoff:   opts.StallBackoff,
@@ -242,6 +282,14 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		prof := opts.Locality
 		opts.Telemetry.SetLocality(func() any { return prof.Report() })
 	}
+	if lat != nil && opts.Telemetry != nil {
+		lat.BindTelemetry(opts.Telemetry.Metrics(), opts.Telemetry.Recorder())
+		tracker := lat
+		opts.Telemetry.SetMMU(func() any { return tracker.MMUSnapshot() })
+		opts.Telemetry.SetFlightRecorder(func(w io.Writer) error {
+			return tracker.WriteFlight(w, "on-demand")
+		})
+	}
 	mach := opts.Machine
 	if mach.Cores == 0 {
 		mach = LaptopMachine
@@ -252,6 +300,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		Mem:       mem,
 		Types:     types,
 		Machine:   mach,
+		Latency:   lat,
 	}
 	if opts.StartDriver {
 		col.StartDriver()

@@ -1,8 +1,8 @@
 // Package telemetrynames keeps the metrics namespace coherent. Every
-// metric registered on a telemetry.Registry (Counter, Gauge, Histogram)
-// must be named `hcsgc_<snake_case>` — the exporters emit names verbatim,
-// so a stray `HcsgcPauseNs` or `pause-ns` silently forks the dashboard
-// namespace.
+// metric registered on a telemetry.Registry (Counter, Gauge, Histogram,
+// Summary) must be named `hcsgc_<snake_case>` — the exporters emit names
+// verbatim, so a stray `HcsgcPauseNs` or `pause-ns` silently forks the
+// dashboard namespace.
 //
 // The registry is Prometheus-shaped: registering the same family name
 // from several sites with different label values is the intended pattern
@@ -14,7 +14,10 @@
 //   - help: family() silently keeps the first help string, so divergent
 //     help text at a second site is dead and the dashboards lie;
 //   - labels come in key/value pairs: an odd argument count panics in
-//     labelKey at first use.
+//     labelKey at first use;
+//   - suffix conventions: `_total` is reserved for Counter families
+//     (Prometheus semantics), and `_bucket`/`_sum`/`_count` are reserved
+//     for the derived series histograms and summaries emit themselves.
 //
 // Names built at runtime (fmt.Sprintf in a loop) cannot be validated
 // statically and are skipped; label-pair parity is checked regardless.
@@ -25,6 +28,7 @@ import (
 	"go/constant"
 	"go/token"
 	"regexp"
+	"strings"
 
 	"hcsgc/internal/analysis/lintkit"
 )
@@ -34,15 +38,23 @@ const telemetryPkg = "hcsgc/internal/telemetry"
 
 // registerMethods maps (*telemetry.Registry) constructor name -> index of
 // the first label argument (name and help precede it; Histogram also takes
-// bucket bounds).
+// bucket bounds, Summary a quantile source).
 var registerMethods = map[string]int{
 	"Counter":   2,
 	"Gauge":     2,
 	"Histogram": 3,
+	"Summary":   3,
 }
 
 // nameRE is the required shape of a metric name.
 var nameRE = regexp.MustCompile(`^hcsgc_[a-z0-9_]+$`)
+
+// reservedSuffixRE matches suffixes the Prometheus exposition format
+// reserves for derived series: histograms and summaries emit
+// `<family>_bucket`, `<family>_sum` and `<family>_count` lines themselves,
+// so a base family carrying one of these suffixes collides with the
+// derived series of a like-named histogram or summary.
+var reservedSuffixRE = regexp.MustCompile(`_(bucket|sum|count)$`)
 
 // Analyzer is the telemetrynames pass.
 var Analyzer = &lintkit.Analyzer{
@@ -103,7 +115,14 @@ func run(pass *lintkit.Pass) error {
 				name)
 			return true
 		}
-
+		if m := reservedSuffixRE.FindString(name); m != "" {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name %q ends in the reserved suffix %q: histograms "+
+					"and summaries emit *%s series themselves, so this family "+
+					"collides with their derived series in the exposition",
+				name, m, m)
+			return true
+		}
 		help := ""
 		if len(call.Args) > 1 {
 			help, _ = constString(call.Args[1])
@@ -111,6 +130,15 @@ func run(pass *lintkit.Pass) error {
 		prev, seen := first[name]
 		if !seen {
 			first[name] = familySite{pos: call.Args[0].Pos(), kind: f.Name(), help: help}
+			// The _total convention is checked once, at the first site; a
+			// later kind flip is the family-consistency diagnostic instead.
+			if strings.HasSuffix(name, "_total") && f.Name() != "Counter" {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric %q ends in _total but is registered as a %s: the "+
+						"_total suffix promises a monotonic counter to every "+
+						"Prometheus consumer",
+					name, f.Name())
+			}
 			return true
 		}
 		if prev.kind != f.Name() {

@@ -24,6 +24,23 @@ func register(reg *telemetry.Registry, suffix string) {
 	// Odd label arguments panic in labelKey at first use.
 	reg.Counter("hcsgc_odd_total", "Odd labels.", "who") // want `odd number of label arguments`
 
+	// Summaries join the same namespace and family rules.
+	reg.Summary("hcsgc_pause_cycles", "Pauses.", nil, "phase", "stw1")
+	reg.Summary("hcsgc_pause_cycles", "Pauses.", nil, "phase", "stw2")
+	reg.Summary("PauseCycles", "Bad name.", nil)                 // want `does not match \^hcsgc_`
+	reg.Gauge("hcsgc_pause_cycles", "Pauses.")                   // want `registered as Gauge here but as Summary`
+	reg.Summary("hcsgc_pause_cycles", "Pause dists.", nil)       // want `registered with different help text`
+	reg.Summary("hcsgc_odd_cycles", "Odd labels.", nil, "phase") // want `odd number of label arguments`
+
+	// Suffix conventions: _total promises a monotonic counter, and the
+	// _bucket/_sum/_count suffixes belong to histogram and summary
+	// derived series.
+	reg.Gauge("hcsgc_live_total", "Not a counter.")         // want `_total suffix promises a monotonic counter`
+	reg.Summary("hcsgc_stall_total", "Not a counter.", nil) // want `_total suffix promises a monotonic counter`
+	reg.Counter("hcsgc_pause_count", "Reserved.")           // want `reserved suffix "_count"`
+	reg.Gauge("hcsgc_pause_sum", "Reserved.")               // want `reserved suffix "_sum"`
+	reg.Counter("hcsgc_pause_bucket", "Reserved.")          // want `reserved suffix "_bucket"`
+
 	// Runtime-built names are skipped: not statically checkable.
 	reg.Counter("hcsgc_pause_"+suffix, "Dynamic name.")
 }

@@ -7,8 +7,15 @@ type Counter struct{}
 type Gauge struct{}
 type Histogram struct{}
 
+type QuantileSource interface {
+	Quantile(q float64) float64
+	Count() uint64
+	Sum() float64
+}
+
 func (r *Registry) Counter(name, help string, labels ...string) *Counter { return nil }
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge     { return nil }
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
 	return nil
 }
+func (r *Registry) Summary(name, help string, src QuantileSource, labels ...string) {}

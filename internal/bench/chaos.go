@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"hcsgc"
 	"hcsgc/internal/telemetry"
@@ -41,6 +42,10 @@ type ChaosRun struct {
 	// GCLog is the run's gclog snapshot, captured only for failed runs as
 	// the diagnostic artifact.
 	GCLog string
+	// FlightDump is the latency flight-recorder dump for failed and OOM
+	// runs: the automatic dumps the run emitted (verifier violation, OOM),
+	// or a final on-demand dump when the failure produced none.
+	FlightDump string
 }
 
 // Failed reports whether the run counts against the soak: an invariant
@@ -104,19 +109,42 @@ func RunChaos(expID string, runs int, scale float64, baseSeed int64, progress Pr
 	return res, nil
 }
 
-// chaosRun executes one seeded run: fresh injector, fresh verifier, and a
-// private telemetry sink whose gclog becomes the artifact on failure.
+// syncBuffer is a mutex-guarded io.Writer: the latency tracker's automatic
+// dumps can arrive from collector and mutator goroutines concurrently.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// chaosRun executes one seeded run: fresh injector, fresh verifier, a
+// private telemetry sink whose gclog becomes the artifact on failure, and
+// a latency tracker whose flight recorder dumps into the run record.
 func chaosRun(w workloads.Workload, config int, scale float64, seed int64) ChaosRun {
 	faults := hcsgc.RandomFaultConfig(seed)
 	inj := hcsgc.NewFaultInjector(faults)
 	v := hcsgc.NewHeapVerifier()
 	sink := telemetry.NewSink()
+	dumpBuf := &syncBuffer{}
+	tracker := hcsgc.NewLatencyTracker(hcsgc.LatencyConfig{DumpTo: dumpBuf})
 	run := ChaosRun{Seed: seed, Config: config, Faults: faults.String()}
 
 	_, err := w.Run(workloads.RunConfig{
-		Knobs: KnobsFor(config),
-		Seed:  seed,
-		Scale: scale,
+		Knobs:   KnobsFor(config),
+		Seed:    seed,
+		Scale:   scale,
+		Latency: tracker,
 		// A deliberately tight heap and an eager trigger: chaos wants many
 		// cycles (each one is a verifier pass and a fresh relocation era),
 		// not a leisurely stroll to 70% of 64 MB. Tight enough that even a
@@ -143,6 +171,17 @@ func chaosRun(w workloads.Workload, config int, scale float64, seed int64) Chaos
 	run.Violations = v.Violations()
 	run.VerifierRuns = v.Runs()
 	run.Fired = inj.FiredByPoint()
+	if run.Failed() || run.OOM {
+		run.FlightDump = dumpBuf.String()
+		if run.FlightDump == "" {
+			// The failure mode produced no automatic dump (e.g. a violation
+			// found after the last cycle boundary): take one on demand so a
+			// reproduced seed always ships its flight record.
+			var b strings.Builder
+			tracker.WriteFlight(&b, fmt.Sprintf("chaos: seed %d failed", seed))
+			run.FlightDump = b.String()
+		}
+	}
 	if run.Failed() {
 		var b strings.Builder
 		sink.WriteGCLog(&b)

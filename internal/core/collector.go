@@ -12,6 +12,7 @@ import (
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
 	"hcsgc/internal/telemetry"
+	"hcsgc/internal/telemetry/latency"
 )
 
 // Phase is the collector's era between pauses. The good color and phase
@@ -75,12 +76,23 @@ type Collector struct {
 	cycleMu sync.Mutex
 	cycles  atomic.Uint64
 
-	stats        statsLog
-	tm           colTelemetry
-	inj          *faultinject.Injector
-	relocSample  atomic.Uint64 // sampling cursor for trace reloc_win instants
-	effConf      atomic.Uint64 // effective ColdConfidence (bits of float64), for AutoTune
-	lastTuneMiss float64
+	stats statsLog
+	tm    colTelemetry
+	lat   *latency.Tracker
+	// vclock is the virtual-timeline high-water mark in simulated cycles:
+	// the max attached-mutator ledger plus accumulated pause cost. Only
+	// maintained when lat is attached.
+	vclock     atomic.Uint64
+	pauseTotal atomic.Uint64
+	// stallCount counts allocation stalls runtime-wide; lastStalls /
+	// lastVerifyTotal are per-cycle watermarks (touched under cycleMu).
+	stallCount      atomic.Uint64
+	lastStalls      uint64
+	lastVerifyTotal uint64
+	inj             *faultinject.Injector
+	relocSample     atomic.Uint64 // sampling cursor for trace reloc_win instants
+	effConf         atomic.Uint64 // effective ColdConfidence (bits of float64), for AutoTune
+	lastTuneMiss    float64
 
 	driverStop chan struct{}
 	driverDone chan struct{}
@@ -101,6 +113,7 @@ func New(h *heap.Heap, types *objmodel.Registry, cfg Config) (*Collector, error)
 		muts:  make(map[*Mutator]struct{}),
 	}
 	c.tm = newColTelemetry(cfg.Telemetry)
+	c.lat = cfg.Latency
 	c.inj = cfg.FaultInjector
 	c.good.Store(uint64(heap.ColorRemapped))
 	c.phase.Store(uint32(PhaseRelocate))
@@ -169,6 +182,10 @@ func (c *Collector) collectIfDue(prev uint64, reason string) {
 func (c *Collector) runCycle(reason string) {
 	cs := &CycleStats{Seq: c.cycles.Load() + 1, Trigger: reason, HeapUsedBefore: c.heap.UsedPercent()}
 	c.tm.rec.BeginSpan(telemetry.SpanCycle, collectorTID)
+	var vCycleStart uint64
+	if c.lat != nil {
+		vCycleStart = c.virtualNow()
+	}
 
 	// --- RE completion. In lazy mode the GC-thread share of relocation
 	// was deferred to now (paper Fig. 3: "a GC cycle starts with RE");
@@ -184,6 +201,7 @@ func (c *Collector) runCycle(reason string) {
 	c.stopTheWorldTimed(telemetry.SpanPause1)
 	c.tm.rec.BeginSpan(telemetry.SpanPause1, collectorTID)
 	pause1 := c.beginPauseAccounting()
+	v1 := c.pauseStartClock()
 	c.startSeq.Store(c.heap.CurrentSeq())
 	markColor := heap.ColorMarked0
 	if c.markColorM1 {
@@ -207,11 +225,16 @@ func (c *Collector) runCycle(reason string) {
 	c.pool.setActive(len(c.workers))
 	c.pool.put(rootGrays)
 	cs.Pause1 = c.endPauseAccounting(pause1)
+	c.recordPauseLatency(0, v1, cs.Pause1)
 	c.verifyHeap("stw1")
 	c.tm.rec.EndSpan(telemetry.SpanPause1, collectorTID)
 	c.sp.resumeTheWorld()
 
 	// --- M/R: concurrent parallel marking with mutator assistance.
+	var vMark uint64
+	if c.lat != nil {
+		vMark = c.virtualNow()
+	}
 	c.tm.rec.BeginSpan(telemetry.SpanMark, collectorTID)
 	var markWG sync.WaitGroup
 	for _, w := range c.workers {
@@ -240,8 +263,12 @@ func (c *Collector) runCycle(reason string) {
 		c.sp.resumeTheWorld()
 	}
 	c.tm.rec.EndSpan(telemetry.SpanMark, collectorTID)
+	if c.lat != nil {
+		c.lat.RecordPhase(latency.PhaseMark, vMark, c.virtualNow())
+	}
 	c.tm.rec.BeginSpan(telemetry.SpanPause2, collectorTID)
 	pause2 := c.beginPauseAccounting()
+	v2 := c.pauseStartClock()
 	c.pool.terminate()
 	markWG.Wait()
 	// Mark end: no stale pointers remain in the heap, so the previous
@@ -251,6 +278,7 @@ func (c *Collector) runCycle(reason string) {
 	}
 	c.pendingDrop = nil
 	cs.Pause2 = c.endPauseAccounting(pause2)
+	c.recordPauseLatency(1, v2, cs.Pause2)
 	cs.MarkedBytes = c.totalMarkedBytes()
 	c.recordMarkEnd(cs)
 	c.recordSegregation(cs)
@@ -259,14 +287,22 @@ func (c *Collector) runCycle(reason string) {
 	c.sp.resumeTheWorld()
 
 	// --- EC selection (concurrent with mutators).
+	var vEC uint64
+	if c.lat != nil {
+		vEC = c.virtualNow()
+	}
 	c.tm.rec.BeginSpan(telemetry.SpanECSelect, collectorTID)
 	c.selectEvacuationCandidates(cs)
 	c.tm.rec.EndSpan(telemetry.SpanECSelect, collectorTID)
+	if c.lat != nil {
+		c.lat.RecordPhase(latency.PhaseECSelect, vEC, c.virtualNow())
+	}
 
 	// --- STW3: flip to R, relocate/heal all roots.
 	c.stopTheWorldTimed(telemetry.SpanPause3)
 	c.tm.rec.BeginSpan(telemetry.SpanPause3, collectorTID)
 	pause3 := c.beginPauseAccounting()
+	v3 := c.pauseStartClock()
 	c.good.Store(uint64(heap.ColorRemapped))
 	c.phase.Store(uint32(PhaseRelocate))
 	c.forEachMutator(func(m *Mutator) {
@@ -275,6 +311,7 @@ func (c *Collector) runCycle(reason string) {
 		}
 	})
 	cs.Pause3 = c.endPauseAccounting(pause3)
+	c.recordPauseLatency(2, v3, cs.Pause3)
 	c.verifyHeap("stw3")
 	c.tm.rec.EndSpan(telemetry.SpanPause3, collectorTID)
 	c.sp.resumeTheWorld()
@@ -297,6 +334,7 @@ func (c *Collector) runCycle(reason string) {
 	c.cycles.Add(1)
 	c.stats.append(cs)
 	c.recordCycleEnd(cs)
+	c.recordLatencyCycle(cs, vCycleStart)
 	c.cfg.Locality.OnCycle(cs.Seq, cs.SegregationPurity)
 	c.tm.rec.EndSpan(telemetry.SpanCycle, collectorTID)
 	if c.cfg.Knobs.AutoTune {

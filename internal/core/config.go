@@ -17,6 +17,7 @@ import (
 	"hcsgc/internal/faultinject"
 	"hcsgc/internal/locality"
 	"hcsgc/internal/telemetry"
+	"hcsgc/internal/telemetry/latency"
 )
 
 // Knobs are the five HCSGC tuning knobs of Table 2 plus the extension
@@ -143,6 +144,11 @@ type Config struct {
 	// when set, every mutator gets a probe and the collector snapshots
 	// the profiler at each cycle boundary.
 	Locality *locality.Profiler
+	// Latency is the optional latency-attribution tracker (HDR pause and
+	// phase distributions, MMU, barrier slow-path profile, flight
+	// recorder). Nil disables it: each instrumentation site reduces to
+	// one predictable branch.
+	Latency *latency.Tracker
 	// FaultInjector arms the fault-injection plane at the collector's
 	// injection points (relocation race, barrier slow path, safepoint
 	// entry, page retire, driver trigger). Nil — the default — costs one

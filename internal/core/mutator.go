@@ -11,6 +11,7 @@ import (
 	"hcsgc/internal/locality"
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
+	"hcsgc/internal/telemetry/latency"
 )
 
 // Mutator is an application thread's handle onto the managed heap. Every
@@ -252,6 +253,8 @@ func (m *Mutator) allocStall(size uint64, alloc func() (uint64, error)) (uint64,
 		}
 		deadline := m.c.cfg.StallDeadline
 		if attempt > m.c.cfg.StallRetries || (deadline > 0 && time.Since(start) >= deadline) {
+			m.c.lat.AutoDump(fmt.Sprintf(
+				"oom: %d-byte allocation gave up after %d attempts", size, attempt))
 			return 0, &OutOfMemoryError{
 				Size:      size,
 				Attempts:  attempt,
@@ -262,14 +265,22 @@ func (m *Mutator) allocStall(size uint64, alloc func() (uint64, error)) (uint64,
 			}
 		}
 		m.Stalls++
+		m.c.stallCount.Add(1)
 		m.c.tm.allocStalls.Inc()
 		prev := m.c.cycles.Load()
+		var stallStart uint64
+		if m.c.lat != nil {
+			stallStart = m.c.virtualNow()
+		}
 		m.c.sp.beginBlocked()
 		if backoff := m.c.cfg.StallBackoff; backoff > 0 && attempt > 1 {
 			time.Sleep(time.Duration(attempt-1) * backoff)
 		}
 		m.c.collectIfDue(prev, "allocation stall")
 		m.c.sp.endBlocked()
+		if m.c.lat != nil {
+			m.c.lat.RecordStall(stallStart, m.c.virtualNow(), m.c.mutatorStallWeight())
+		}
 	}
 }
 
@@ -387,6 +398,17 @@ func (m *Mutator) barrierSlow(raw heap.Ref) heap.Ref {
 	c.inj.At(faultinject.BarrierSlow, raw.Addr())
 	m.extra.Add(c.cfg.Costs.BarrierSlow)
 	c.tm.barrierSlow.Inc()
+	// Latency attribution: exact per-path hit counters, plus a sampled
+	// latency measured as this mutator's cycle-ledger delta across the
+	// slow path and attributed to the primary dispatch outcome.
+	lt := c.lat
+	var sampleStart uint64
+	sampled := false
+	if lt != nil && lt.SampleBarrier() {
+		sampled = true
+		sampleStart = m.Cycles()
+	}
+	primary := latency.PathMark
 	addr := raw.Addr()
 	p := c.heap.PageOf(addr)
 	if p == nil {
@@ -397,11 +419,17 @@ func (m *Mutator) barrierSlow(raw heap.Ref) heap.Ref {
 		// Remap through the previous era's forwarding, then mark. A
 		// mutator access is the definition of hot (§3.1.2).
 		if p.Forwarding() != nil {
+			lt.BarrierHit(latency.PathRemap)
 			addr = c.remapForward(addr, p)
 			p = c.heap.PageOf(addr)
 		}
 		pushed, cost := c.markObject(m.core, addr, true)
 		m.extra.Add(cost)
+		if cost > 0 {
+			// markObject charges only for a won hotness CAS (§3.1.2).
+			lt.BarrierHit(latency.PathHotmapRecord)
+		}
+		lt.BarrierHit(latency.PathMark)
 		if pushed {
 			m.markBuf = append(m.markBuf, addr)
 			if len(m.markBuf) >= markChunk {
@@ -412,8 +440,17 @@ func (m *Mutator) barrierSlow(raw heap.Ref) heap.Ref {
 		// Compete with GC threads to relocate (§2.2 RE, §3.2): if this
 		// mutator wins, the object lands in its TLAB in access order.
 		if p.InEC() {
+			primary = latency.PathRelocate
+			lt.BarrierHit(latency.PathRelocate)
 			addr = c.relocateObject(m.ctx, addr, p)
+		} else {
+			// Stale color on a non-candidate page: recolor only.
+			primary = latency.PathRemap
+			lt.BarrierHit(latency.PathRemap)
 		}
+	}
+	if sampled {
+		lt.RecordBarrierLatency(primary, m.Cycles()-sampleStart)
 	}
 	return heap.MakeRef(addr, c.Good())
 }

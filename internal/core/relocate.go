@@ -9,6 +9,7 @@ import (
 	"hcsgc/internal/objmodel"
 	"hcsgc/internal/simmem"
 	"hcsgc/internal/telemetry"
+	"hcsgc/internal/telemetry/latency"
 )
 
 // relocCtx is a relocation execution context: who is copying (a mutator, a
@@ -203,6 +204,12 @@ func (w *gcWorker) drainLoop(cs *CycleStats) {
 	tid := uint32(2 + w.id)
 	c.tm.rec.BeginSpan(telemetry.SpanRelocate, tid)
 	defer c.tm.rec.EndSpan(telemetry.SpanRelocate, tid)
+	if c.lat != nil {
+		vStart := c.virtualNow()
+		defer func() {
+			c.lat.RecordPhase(latency.PhaseRelocDrain, vStart, c.virtualNow())
+		}()
+	}
 	for {
 		i := c.ecCursor.Add(1) - 1
 		if int(i) >= len(c.ecPages) {

@@ -17,8 +17,8 @@ type colTelemetry struct {
 	rec     *telemetry.Recorder
 
 	cycles *telemetry.Counter
-	// pause[i] is the STW(i+1) pause-cost histogram in simulated cycles.
-	pause [3]*telemetry.Histogram
+	// Pause-cost distributions (hcsgc_pause_cycles) live in the latency
+	// tracker as HDR-backed summaries, not here.
 	// relocObjects/relocBytes are indexed by telemetry.RelocByGC/Mutator.
 	relocObjects [2]*telemetry.Counter
 	relocBytes   [2]*telemetry.Counter
@@ -43,9 +43,6 @@ const collectorTID = 1
 // every phase span from the ring. Counters remain exact.
 const relocSampleMask = 1023
 
-// Pause-cost histogram buckets, in simulated cycles: 100 .. ~26M.
-var pauseCycleBuckets = telemetry.ExpBuckets(100, 4, 10)
-
 // Safepoint-wait histogram buckets, in wall nanoseconds: 1µs .. ~2s.
 var safepointWaitBuckets = telemetry.ExpBuckets(1e3, 8, 8)
 
@@ -59,11 +56,6 @@ func newColTelemetry(sink *telemetry.Sink) colTelemetry {
 	reg := sink.Metrics()
 	t := colTelemetry{enabled: true, rec: sink.Recorder()}
 	t.cycles = reg.Counter("hcsgc_gc_cycles_total", "Completed GC cycles.")
-	for i, phase := range []string{"stw1", "stw2", "stw3"} {
-		t.pause[i] = reg.Histogram("hcsgc_pause_cycles",
-			"STW pause cost per cycle, in simulated cycles.",
-			pauseCycleBuckets, "phase", phase)
-	}
 	t.relocObjects[telemetry.RelocByGC] = reg.Counter("hcsgc_reloc_objects_total",
 		"Objects relocated, by relocation-race winner.", "who", "gc")
 	t.relocObjects[telemetry.RelocByMutator] = reg.Counter("hcsgc_reloc_objects_total",
@@ -156,9 +148,6 @@ func (c *Collector) recordCycleEnd(cs *CycleStats) {
 		return
 	}
 	c.tm.cycles.Inc()
-	c.tm.pause[0].Observe(float64(cs.Pause1))
-	c.tm.pause[1].Observe(float64(cs.Pause2))
-	c.tm.pause[2].Observe(float64(cs.Pause3))
 	c.tm.ecPages[0].Add(uint64(cs.ECSmall))
 	c.tm.ecPages[1].Add(uint64(cs.ECMedium))
 	c.tm.pagesFreedEmpty.Add(uint64(cs.PagesFreedEmpty))

@@ -156,6 +156,19 @@ func (v *Verifier) Total() uint64 {
 	return v.total
 }
 
+// Counts returns the pass and violation totals in one consistent
+// snapshot — the latency flight recorder reads both at every cycle
+// boundary, and two separate locked reads could tear across a concurrent
+// Report.
+func (v *Verifier) Counts() (runs, violations uint64) {
+	if v == nil {
+		return 0, 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.runs, v.total
+}
+
 // Violations returns a copy of the retained violation records (at most
 // maxViolationDetails; Total counts all of them).
 func (v *Verifier) Violations() []Violation {

@@ -20,6 +20,8 @@ type Sink struct {
 	mu       sync.Mutex
 	gclog    func(io.Writer)
 	locality func() any
+	mmu      func() any
+	flight   func(io.Writer) error
 
 	// dropped mirrors the recorder's loss counters into the registry at
 	// scrape time so exporters can alert on telemetry loss.
@@ -95,9 +97,51 @@ func (s *Sink) SetLocality(fn func() any) {
 	s.mu.Unlock()
 }
 
+// SetMMU installs the snapshot source behind the /mmu endpoint (typically
+// a closure over latency.Tracker.MMUSnapshot). The returned value is
+// rendered as JSON. Nil-safe; the latest runtime wins.
+func (s *Sink) SetMMU(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.mmu = fn
+	s.mu.Unlock()
+}
+
+// SetFlightRecorder installs the dump renderer behind the /flightrecorder
+// endpoint (typically a closure over latency.Tracker.WriteFlight).
+// Nil-safe; the latest runtime wins.
+func (s *Sink) SetFlightRecorder(fn func(io.Writer) error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.flight = fn
+	s.mu.Unlock()
+}
+
+// WriteFlightRecorder renders the installed flight-recorder dump to w,
+// outside any HTTP request (the chaos soak captures failing runs with it).
+// A sink without an installed renderer writes nothing.
+func (s *Sink) WriteFlightRecorder(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	fn := s.flight
+	s.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(w)
+}
+
 // Handler returns the HTTP mux serving /metrics (Prometheus text),
 // /metrics.json (JSON snapshot), /trace (Chrome trace_event JSON),
-// /gclog (ZGC-style text log) and /locality (locality-profiler report).
+// /gclog (ZGC-style text log), /locality (locality-profiler report),
+// /mmu (minimum-mutator-utilization curve) and /flightrecorder (latency
+// flight-recorder dump).
 func (s *Sink) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -138,12 +182,36 @@ func (s *Sink) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(fn())
 	})
+	mux.HandleFunc("/mmu", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.mmu
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			io.WriteString(w, "null\n")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fn())
+	})
+	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.flight
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			io.WriteString(w, "null\n")
+			return
+		}
+		fn(w)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality")
+		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /flightrecorder")
 	})
 	return mux
 }

@@ -1,0 +1,166 @@
+package latency
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BarrierProfile counts load-barrier slow-path work by path for one cycle
+// (or cumulatively in Report). Remap and hotmap-record are sub-steps that
+// can occur inside a mark-path entry, so the fields are not disjoint.
+type BarrierProfile struct {
+	// Mark counts mark-phase slow-path entries (mark/queue the object).
+	Mark uint64 `json:"mark"`
+	// Relocate counts relocate-phase entries that raced the GC for an
+	// evacuation-candidate object — the work LAZYRELOCATE shifts from GC
+	// threads into mutator barriers.
+	Relocate uint64 `json:"relocate"`
+	// Remap counts forwarding-table resolutions (mark phase) and
+	// recolor-only relocate-phase entries on non-candidate pages.
+	Remap uint64 `json:"remap"`
+	// HotmapRecord counts successful hotness CASes (§3.1.2).
+	HotmapRecord uint64 `json:"hotmap_record"`
+}
+
+// CycleRecord is one GC cycle's flight-recorder entry: phase durations and
+// pause costs in simulated cycles, the EC/WLB selection outcome, stall and
+// barrier activity attributed to the cycle, the verifier's cumulative
+// status, and the MMU curve as of cycle end.
+type CycleRecord struct {
+	Seq     uint64 `json:"seq"`
+	Trigger string `json:"trigger"`
+
+	// VStart/VEnd bracket the cycle on the virtual timeline.
+	VStart uint64 `json:"vstart_cycles"`
+	VEnd   uint64 `json:"vend_cycles"`
+
+	Pause1 uint64 `json:"pause1_cycles"`
+	Pause2 uint64 `json:"pause2_cycles"`
+	Pause3 uint64 `json:"pause3_cycles"`
+	// Concurrent-phase durations (relocate sums the per-worker drains of
+	// the evacuation set this cycle started with).
+	MarkCycles     uint64 `json:"mark_cycles"`
+	ECSelectCycles uint64 `json:"ec_select_cycles"`
+	RelocateCycles uint64 `json:"relocate_cycles"`
+
+	// EC selection outcome (the WLB decision, paper §3.1).
+	ECSmall          int    `json:"ec_small"`
+	ECMedium         int    `json:"ec_medium"`
+	ECSmallLiveBytes uint64 `json:"ec_small_live_bytes"`
+	PagesFreedEmpty  int    `json:"pages_freed_empty"`
+	MarkedBytes      uint64 `json:"marked_bytes"`
+
+	HeapUsedBefore    float64 `json:"heap_used_before"`
+	HeapUsedAfter     float64 `json:"heap_used_after"`
+	SegregationPurity float64 `json:"segregation_purity"`
+
+	// Stalls is the number of allocation stalls since the previous cycle.
+	Stalls uint64 `json:"stalls"`
+	// Barrier is the slow-path profile since the previous cycle.
+	Barrier BarrierProfile `json:"barrier"`
+
+	// Cumulative verifier status at cycle end (zero when detached).
+	VerifyRuns       uint64 `json:"verify_runs"`
+	VerifyViolations uint64 `json:"verify_violations"`
+
+	// MMU is the window ladder as of cycle end; Utilization is the
+	// mutator utilization over this cycle's [VStart, VEnd] interval.
+	MMU         []MMUPoint `json:"mmu"`
+	Utilization float64    `json:"utilization"`
+}
+
+// flightRing is a bounded ring of the last N cycle records.
+type flightRing struct {
+	buf   []CycleRecord
+	next  int
+	total uint64
+}
+
+func newFlightRing(n int) *flightRing {
+	return &flightRing{buf: make([]CycleRecord, 0, n)}
+}
+
+func (r *flightRing) add(rec CycleRecord) {
+	if cap(r.buf) == 0 {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.total++
+}
+
+// records returns the retained records oldest-first.
+func (r *flightRing) records() []CycleRecord {
+	out := make([]CycleRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dist summarizes one HDR histogram for reports.
+type Dist struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+func distOf(h *Hist) Dist {
+	return Dist{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   float64(h.Max()),
+	}
+}
+
+// BarrierPathReport is one slow-path family: exact hit count plus the
+// sampled latency distribution.
+type BarrierPathReport struct {
+	Hits    uint64 `json:"hits"`
+	Sampled Dist   `json:"sampled_latency_cycles"`
+}
+
+// Report is the full latency-attribution snapshot: per-pause and per-phase
+// distributions, the stall distribution, per-path barrier profile, the MMU
+// curve, and the flight-recorder contents. All durations are simulated
+// cycles.
+type Report struct {
+	Pauses  map[string]Dist              `json:"pauses"`
+	Phases  map[string]Dist              `json:"phases"`
+	Stall   Dist                         `json:"alloc_stall"`
+	Barrier map[string]BarrierPathReport `json:"barrier"`
+	MMU     MMUReport                    `json:"mmu"`
+	// Flight holds the retained per-cycle records, oldest first; Cycles
+	// counts every cycle ever recorded.
+	Flight []CycleRecord `json:"flight,omitempty"`
+	Cycles uint64        `json:"cycles"`
+	// FlightDumps counts automatic dumps emitted (verifier failure, OOM).
+	FlightDumps uint64 `json:"flight_dumps"`
+}
+
+// FlightDump is the structured JSON envelope written on automatic dumps
+// and by WriteFlight.
+type FlightDump struct {
+	Reason string  `json:"reason"`
+	Report *Report `json:"report"`
+}
+
+// writeDump renders the dump to w, single-line unless indent.
+func writeDump(w io.Writer, d FlightDump, indent bool) error {
+	enc := json.NewEncoder(w)
+	if indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(d)
+}

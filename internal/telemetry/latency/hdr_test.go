@@ -1,0 +1,132 @@
+package latency
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSlotGeometry pins the slot math: exact unit slots below 2^subBits,
+// then halfSub linear sub-slots per power-of-two range, with slotUpper the
+// inclusive bound of each slot.
+func TestSlotGeometry(t *testing.T) {
+	for v := uint64(0); v < subCount; v++ {
+		if got := slotIndex(v); got != int(v) {
+			t.Fatalf("slotIndex(%d) = %d, want exact", v, got)
+		}
+		if got := slotUpper(int(v)); got != v {
+			t.Fatalf("slotUpper(%d) = %d, want exact", v, got)
+		}
+	}
+	// The first log range starts exactly at subCount.
+	if got := slotIndex(subCount); got != subCount {
+		t.Fatalf("slotIndex(%d) = %d, want %d", subCount, got, subCount)
+	}
+	// The largest value must land in the last slot.
+	if got := slotIndex(math.MaxUint64); got != numSlots-1 {
+		t.Fatalf("slotIndex(MaxUint64) = %d, want %d", got, numSlots-1)
+	}
+	// Every value lies within its slot's bound, and the bound is tight to
+	// ~1/halfSub relative error.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		idx := slotIndex(v)
+		if idx < 0 || idx >= numSlots {
+			t.Fatalf("slotIndex(%d) = %d out of range", v, idx)
+		}
+		upper := slotUpper(idx)
+		if upper < v {
+			t.Fatalf("slotUpper(%d)=%d below value %d", idx, upper, v)
+		}
+		if idx > 0 {
+			if lower := slotUpper(idx - 1); lower >= v {
+				t.Fatalf("value %d also fits slot %d (upper %d)", v, idx-1, lower)
+			}
+		}
+		if v >= subCount {
+			if rel := float64(upper-v) / float64(v); rel > 1.0/halfSub {
+				t.Fatalf("slot error for %d: upper %d, rel %v > %v", v, upper, rel, 1.0/halfSub)
+			}
+		}
+	}
+}
+
+// TestHistQuantileAccuracy: quantiles of a known stream stay within the
+// layout's relative-error bound and never exceed the exact max.
+func TestHistQuantileAccuracy(t *testing.T) {
+	h := NewHist()
+	const n = 10000
+	for i := uint64(1); i <= n; i++ {
+		h.Record(i)
+	}
+	if h.Count() != n || h.Max() != n {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-(n+1)/2) > 0.5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := q * n
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q%v = %v below exact %v (upper-bound quantiles cannot undershoot)", q, got, exact)
+		}
+		if got > exact*(1+2.0/halfSub)+1 {
+			t.Errorf("q%v = %v, exact %v: beyond error bound", q, got, exact)
+		}
+	}
+	if got := h.Quantile(1); got != n {
+		t.Errorf("q1 = %v, want exact max %d", got, n)
+	}
+}
+
+// TestHistMergeEqualsUnion is the exact-merge property test: a merged
+// histogram must report byte-for-byte the same quantiles, count, sum and
+// max as a single histogram fed the union of the streams.
+func TestHistMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		a, b, union := NewHist(), NewHist(), NewHist()
+		for i := 0; i < 2000; i++ {
+			v := rng.Uint64() >> uint(rng.Intn(60))
+			if rng.Intn(2) == 0 {
+				a.Record(v)
+			} else {
+				b.Record(v)
+			}
+			union.Record(v)
+		}
+		merged := NewHist()
+		merged.Merge(a)
+		merged.Merge(b)
+		if merged.Count() != union.Count() || merged.Sum() != union.Sum() || merged.Max() != union.Max() {
+			t.Fatalf("trial %d: count/sum/max diverge: %d/%v/%d vs %d/%v/%d", trial,
+				merged.Count(), merged.Sum(), merged.Max(),
+				union.Count(), union.Sum(), union.Max())
+		}
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			if m, u := merged.Quantile(q), union.Quantile(q); m != u {
+				t.Fatalf("trial %d: Quantile(%v) = %v merged vs %v union", trial, q, m, u)
+			}
+		}
+	}
+}
+
+// TestHistNilSafe: a nil histogram is inert on every method.
+func TestHistNilSafe(t *testing.T) {
+	var h *Hist
+	h.Record(5)
+	h.Merge(NewHist())
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil Hist must read as zero")
+	}
+	NewHist().Merge(nil)
+}
+
+// TestHistEmptyQuantile: quantiles of an empty histogram are zero.
+func TestHistEmptyQuantile(t *testing.T) {
+	if q := NewHist().Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}

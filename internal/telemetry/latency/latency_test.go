@@ -1,0 +1,274 @@
+package latency
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hcsgc/internal/telemetry"
+)
+
+// feedCycles drives n cycles of synthetic activity through a tracker.
+func feedCycles(t *Tracker, n int) {
+	v := uint64(0)
+	for i := 0; i < n; i++ {
+		t.RecordPause(0, v, 50)
+		v += 50
+		t.RecordPhase(PhaseMark, v, v+300)
+		v += 300
+		t.RecordPause(1, v, 20)
+		v += 20
+		t.RecordPhase(PhaseECSelect, v, v+40)
+		v += 40
+		t.RecordPause(2, v, 30)
+		v += 30
+		t.RecordPhase(PhaseRelocDrain, v, v+200)
+		v += 200
+		t.BarrierHit(PathMark)
+		t.BarrierHit(PathMark)
+		t.BarrierHit(PathRelocate)
+		t.RecordBarrierLatency(PathMark, 12)
+		t.OnCycle(CycleRecord{Seq: uint64(i + 1), Trigger: "test", VStart: v - 640, VEnd: v})
+	}
+}
+
+// TestTrackerEndToEnd: pauses, phases, stalls and barrier activity all
+// land in the report with per-cycle attribution.
+func TestTrackerEndToEnd(t *testing.T) {
+	tr := New(Config{FlightRecords: 4})
+	tr.RecordStall(10, 110, 0.25)
+	feedCycles(tr, 3)
+
+	r := tr.Report()
+	if r.Pauses["stw1"].Count != 3 || r.Pauses["stw1"].Max != 50 {
+		t.Errorf("stw1 = %+v", r.Pauses["stw1"])
+	}
+	if r.Phases["mark"].Count != 3 || r.Phases["mark"].P50 < 300 {
+		t.Errorf("mark = %+v", r.Phases["mark"])
+	}
+	if r.Stall.Count != 1 || r.Stall.Max != 100 {
+		t.Errorf("stall = %+v", r.Stall)
+	}
+	if r.Barrier["mark"].Hits != 6 || r.Barrier["relocate"].Hits != 3 {
+		t.Errorf("barrier = %+v", r.Barrier)
+	}
+	if r.Barrier["mark"].Sampled.Count != 3 {
+		t.Errorf("sampled mark latencies = %+v", r.Barrier["mark"].Sampled)
+	}
+	if len(r.MMU.Windows) != len(DefaultMMUWindows) {
+		t.Errorf("MMU ladder %d windows", len(r.MMU.Windows))
+	}
+	// Per-cycle barrier deltas: each cycle contributed 2 mark + 1 relocate.
+	for _, rec := range r.Flight {
+		if rec.Barrier.Mark != 2 || rec.Barrier.Relocate != 1 {
+			t.Errorf("cycle %d barrier delta = %+v", rec.Seq, rec.Barrier)
+		}
+		if rec.MarkCycles != 300 || rec.RelocateCycles != 200 || rec.ECSelectCycles != 40 {
+			t.Errorf("cycle %d phases = %d/%d/%d", rec.Seq, rec.MarkCycles, rec.ECSelectCycles, rec.RelocateCycles)
+		}
+	}
+}
+
+// TestFlightRingBounds: the ring keeps the last N records oldest-first
+// while the total keeps counting.
+func TestFlightRingBounds(t *testing.T) {
+	tr := New(Config{FlightRecords: 4})
+	feedCycles(tr, 10)
+	r := tr.Report()
+	if r.Cycles != 10 {
+		t.Fatalf("cycles = %d", r.Cycles)
+	}
+	if len(r.Flight) != 4 {
+		t.Fatalf("flight retains %d records, want 4", len(r.Flight))
+	}
+	for i, rec := range r.Flight {
+		if want := uint64(7 + i); rec.Seq != want {
+			t.Errorf("flight[%d].Seq = %d, want %d (oldest-first)", i, rec.Seq, want)
+		}
+	}
+}
+
+// TestAutoDumpLimit: automatic dumps are single-line JSON, capped.
+func TestAutoDumpLimit(t *testing.T) {
+	var buf strings.Builder
+	tr := New(Config{AutoDumpLimit: 2, DumpTo: &buf})
+	feedCycles(tr, 1)
+	for i := 0; i < 5; i++ {
+		tr.AutoDump("test reason")
+	}
+	if tr.Dumps() != 2 {
+		t.Fatalf("dumps = %d, want 2", tr.Dumps())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var d FlightDump
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("dump line does not parse: %v", err)
+	}
+	if d.Reason != "test reason" || d.Report == nil || len(d.Report.Flight) != 1 {
+		t.Fatalf("dump = %+v", d)
+	}
+}
+
+// TestWriteFlightShape: the on-demand dump is indented JSON carrying the
+// full report.
+func TestWriteFlightShape(t *testing.T) {
+	tr := New(Config{})
+	feedCycles(tr, 2)
+	var buf strings.Builder
+	if err := tr.WriteFlight(&buf, "on-demand"); err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal([]byte(buf.String()), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reason != "on-demand" || len(d.Report.Flight) != 2 {
+		t.Fatalf("dump = reason %q, %d records", d.Reason, len(d.Report.Flight))
+	}
+	if !strings.Contains(buf.String(), "\n  ") {
+		t.Error("on-demand dump must be indented")
+	}
+}
+
+// TestSampleBarrier: the sampler fires exactly once per 2^shift entries.
+func TestSampleBarrier(t *testing.T) {
+	tr := New(Config{SampleShift: 3})
+	fired := 0
+	for i := 0; i < 64; i++ {
+		if tr.SampleBarrier() {
+			fired++
+		}
+	}
+	if fired != 8 {
+		t.Fatalf("sampler fired %d/64, want 8 (shift 3)", fired)
+	}
+}
+
+// TestBindTelemetry: the metric families register, gauges and counters
+// sync at cycle boundaries, and the summaries are live HDR views.
+func TestBindTelemetry(t *testing.T) {
+	tr := New(Config{})
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(1, 256)
+	tr.BindTelemetry(reg, rec)
+	feedCycles(tr, 2)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE hcsgc_pause_cycles summary",
+		`hcsgc_pause_cycles{phase="stw1",quantile="0.5"} 50`,
+		`hcsgc_pause_cycles_count{phase="stw1"} 2`,
+		`hcsgc_phase_cycles{phase="mark",quantile="0.99"} 300`,
+		"# TYPE hcsgc_stall_cycles summary",
+		`hcsgc_barrier_path_total{path="mark"} 4`,
+		`hcsgc_barrier_path_cycles{path="mark",quantile="0.5"} 12`,
+		`hcsgc_mmu_ratio{window_cycles="1000"}`,
+		"hcsgc_mutator_utilization_ratio",
+		"hcsgc_flight_dumps_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCounterTrackEmission is the Perfetto coverage: each OnCycle emits
+// one EvCounter sample per MMU window plus utilization, monotonically
+// timestamped, rendering as "C" events in the latency category.
+func TestCounterTrackEmission(t *testing.T) {
+	tr := New(Config{})
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(1, 256)
+	tr.BindTelemetry(reg, rec)
+	feedCycles(tr, 3)
+
+	tf := telemetry.BuildTrace(rec.Snapshot())
+	byName := map[string][]telemetry.TraceEvent{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "C" {
+			byName[ev.Name] = append(byName[ev.Name], ev)
+		}
+	}
+	for _, name := range []string{
+		"latency_mmu_1k", "latency_mmu_5k", "latency_mmu_20k",
+		"latency_mmu_100k", "latency_mutator_utilization",
+	} {
+		evs := byName[name]
+		if len(evs) != 3 {
+			t.Errorf("counter track %q has %d samples, want 3 (one per cycle)", name, len(evs))
+			continue
+		}
+		last := -1.0
+		for _, ev := range evs {
+			if ev.Cat != "latency" {
+				t.Errorf("%q category = %q, want latency", name, ev.Cat)
+			}
+			if ev.TS < last {
+				t.Errorf("%q timestamps not monotone: %v after %v", name, ev.TS, last)
+			}
+			last = ev.TS
+			v, ok := ev.Args["value"].(float64)
+			if !ok || v < 0 || v > 1 {
+				t.Errorf("%q value = %v, want float in [0,1]", name, ev.Args["value"])
+			}
+		}
+	}
+}
+
+// TestTrackerNilSafe: every Tracker method is inert on nil.
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.RecordPause(0, 0, 10)
+	tr.RecordPhase(PhaseMark, 0, 10)
+	tr.RecordStall(0, 10, 1)
+	tr.BarrierHit(PathMark)
+	tr.RecordBarrierLatency(PathMark, 1)
+	tr.OnCycle(CycleRecord{})
+	tr.BindTelemetry(nil, nil)
+	tr.AutoDump("x")
+	if tr.SampleBarrier() {
+		t.Error("nil tracker must never sample")
+	}
+	if tr.Report() != nil || tr.Dumps() != 0 {
+		t.Error("nil tracker must report nil")
+	}
+	if r := tr.MMUSnapshot(); r.SpanCycles != 0 {
+		t.Error("nil MMU snapshot must be zero")
+	}
+}
+
+// TestAggregate: HDR distributions merge exactly, hits sum, MMU takes the
+// per-window minimum.
+func TestAggregate(t *testing.T) {
+	a, b := New(Config{}), New(Config{})
+	feedCycles(a, 2)
+	feedCycles(b, 3)
+	r := Aggregate([]*Tracker{a, nil, b})
+	if r.Pauses["stw1"].Count != 5 {
+		t.Errorf("aggregated stw1 count = %d, want 5", r.Pauses["stw1"].Count)
+	}
+	if r.Barrier["mark"].Hits != 10 {
+		t.Errorf("aggregated mark hits = %d, want 10", r.Barrier["mark"].Hits)
+	}
+	if r.Cycles != 5 {
+		t.Errorf("aggregated cycles = %d, want 5", r.Cycles)
+	}
+	if len(r.MMU.Windows) != len(DefaultMMUWindows) {
+		t.Fatalf("aggregated ladder %d windows", len(r.MMU.Windows))
+	}
+	for i, pt := range r.MMU.Windows {
+		am, bm := mmuOf(a.MMUSnapshot(), pt.WindowCycles), mmuOf(b.MMUSnapshot(), pt.WindowCycles)
+		want := am
+		if bm < want {
+			want = bm
+		}
+		if pt.MMU != want {
+			t.Errorf("window %d: aggregate MMU %v, want min(%v, %v)", i, pt.MMU, am, bm)
+		}
+	}
+}

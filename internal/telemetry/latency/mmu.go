@@ -1,0 +1,267 @@
+package latency
+
+import (
+	"sort"
+	"sync"
+)
+
+// The MMU tracker measures minimum mutator utilization the way the
+// low-latency GC literature defines it (Cheng & Blelloch; Zhao, Blackburn
+// & McKinley): over every window of width w inside the observed timeline,
+// the fraction of the window the mutators were running, minimized over all
+// window placements. Time here is the runtime's virtual clock in simulated
+// cycles, so results are deterministic modulo scheduling, not wall-clock
+// noise.
+//
+// Stops are weighted intervals: an STW pause stops every mutator (weight
+// 1.0); an allocation stall stops one of n mutators (weight 1/n). The
+// cumulative weighted-stop function W(x) is piecewise linear, so the worst
+// window of width w — the placement maximizing W(t+w)-W(t) — is found
+// exactly by evaluating the candidates where t or t+w aligns with an
+// interval boundary.
+
+// stopInterval is one weighted mutator-stop interval on the virtual
+// timeline.
+type stopInterval struct {
+	start, end uint64
+	weight     float64
+}
+
+// mmuState accumulates stop intervals. The interval list is bounded: past
+// maxIv intervals the oldest half is dropped and the window domain
+// advances past them, keeping cost amortized O(1) per add.
+type mmuState struct {
+	mu      sync.Mutex
+	windows []uint64
+	maxIv   int
+	iv      []stopInterval
+	lo, hi  uint64
+}
+
+func newMMUState(windows []uint64, maxIv int) *mmuState {
+	return &mmuState{windows: windows, maxIv: maxIv}
+}
+
+// addStop records a weighted stop interval.
+func (m *mmuState) addStop(start, end uint64, weight float64) {
+	if m == nil || end <= start || weight <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.iv = append(m.iv, stopInterval{start, end, weight})
+	if end > m.hi {
+		m.hi = end
+	}
+	if len(m.iv) > m.maxIv {
+		m.trimLocked()
+	}
+	m.mu.Unlock()
+}
+
+// advance extends the observed timeline to now (mutator-running time with
+// no stops still counts toward utilization).
+func (m *mmuState) advance(now uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if now > m.hi {
+		m.hi = now
+	}
+	m.mu.Unlock()
+}
+
+// trimLocked drops the oldest half of the intervals and advances lo past
+// them, so windows never span a region whose stops were forgotten.
+func (m *mmuState) trimLocked() {
+	sort.Slice(m.iv, func(i, j int) bool { return m.iv[i].start < m.iv[j].start })
+	drop := len(m.iv) / 2
+	m.iv = append(m.iv[:0:0], m.iv[drop:]...)
+	if len(m.iv) > 0 {
+		if m.iv[0].start > m.lo {
+			m.lo = m.iv[0].start
+		}
+	} else {
+		m.lo = m.hi
+	}
+}
+
+// wfunc is the cumulative weighted-stop function W(x) over [lo, hi],
+// represented by its breakpoints: W(x) = cum[i] + slope[i]*(x-pos[i]) for
+// the largest pos[i] <= x, and W(x) = 0 before pos[0].
+type wfunc struct {
+	pos   []uint64
+	cum   []float64
+	slope []float64
+}
+
+func buildWFunc(iv []stopInterval, lo, hi uint64) wfunc {
+	type edge struct {
+		pos uint64
+		d   float64
+	}
+	edges := make([]edge, 0, 2*len(iv))
+	for _, s := range iv {
+		start, end := s.start, s.end
+		if start < lo {
+			start = lo
+		}
+		if end > hi {
+			end = hi
+		}
+		if end <= start {
+			continue
+		}
+		edges = append(edges, edge{start, s.weight}, edge{end, -s.weight})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	var wf wfunc
+	var cum, slope float64
+	for i := 0; i < len(edges); {
+		p := edges[i].pos
+		if n := len(wf.pos); n > 0 {
+			cum += slope * float64(p-wf.pos[n-1])
+		}
+		for i < len(edges) && edges[i].pos == p {
+			slope += edges[i].d
+			i++
+		}
+		if slope < 0 { // float drift: slope is a telescoping sum of ±weight
+			slope = 0
+		}
+		wf.pos = append(wf.pos, p)
+		wf.cum = append(wf.cum, cum)
+		wf.slope = append(wf.slope, slope)
+	}
+	return wf
+}
+
+// eval returns W(x).
+func (wf wfunc) eval(x uint64) float64 {
+	i := sort.Search(len(wf.pos), func(i int) bool { return wf.pos[i] > x }) - 1
+	if i < 0 {
+		return 0
+	}
+	return wf.cum[i] + wf.slope[i]*float64(x-wf.pos[i])
+}
+
+// maxStop returns the largest weighted stop time inside any window of
+// width w placed within [lo, hi], clamped to w. Exact: the maximum of the
+// piecewise-linear f(t) = W(t+w)-W(t) is attained where t or t+w is a
+// breakpoint, or at the domain edges, all of which are candidates.
+func (wf wfunc) maxStop(w, lo, hi uint64) float64 {
+	tMax := hi - w
+	try := func(t uint64) float64 {
+		if t < lo {
+			t = lo
+		}
+		if t > tMax {
+			t = tMax
+		}
+		return wf.eval(t+w) - wf.eval(t)
+	}
+	worst := try(lo)
+	if s := try(tMax); s > worst {
+		worst = s
+	}
+	for _, p := range wf.pos {
+		if s := try(p); s > worst {
+			worst = s
+		}
+		if p >= w {
+			if s := try(p - w); s > worst {
+				worst = s
+			}
+		}
+	}
+	if worst > float64(w) {
+		worst = float64(w)
+	}
+	if worst < 0 {
+		worst = 0
+	}
+	return worst
+}
+
+// MMUPoint is one (window, MMU) sample of the MMU curve.
+type MMUPoint struct {
+	// WindowCycles is the window width in simulated cycles.
+	WindowCycles uint64 `json:"window_cycles"`
+	// MMU is the minimum mutator utilization over windows of that width,
+	// in [0,1].
+	MMU float64 `json:"mmu"`
+}
+
+// MMUReport is the MMU curve plus overall utilization, the /mmu endpoint
+// payload.
+type MMUReport struct {
+	// Windows is the MMU ladder, ascending by window width.
+	Windows []MMUPoint `json:"windows"`
+	// SpanCycles is the observed timeline length. Windows wider than the
+	// span report the whole-span utilization.
+	SpanCycles uint64 `json:"span_cycles"`
+	// Utilization is the mutator utilization over the whole span.
+	Utilization float64 `json:"utilization"`
+	// StopIntervals is the number of retained stop intervals.
+	StopIntervals int `json:"stop_intervals"`
+}
+
+// snapshot computes the MMU ladder and overall utilization.
+func (m *mmuState) snapshot() MMUReport {
+	if m == nil {
+		return MMUReport{}
+	}
+	m.mu.Lock()
+	iv := append([]stopInterval(nil), m.iv...)
+	lo, hi := m.lo, m.hi
+	windows := m.windows
+	m.mu.Unlock()
+
+	r := MMUReport{SpanCycles: hi - lo, StopIntervals: len(iv), Utilization: 1}
+	wf := buildWFunc(iv, lo, hi)
+	span := hi - lo
+	if span > 0 {
+		r.Utilization = clamp01(1 - wf.eval(hi)/float64(span))
+	}
+	for _, w := range windows {
+		mmu := r.Utilization
+		if w > 0 && w <= span {
+			mmu = clamp01(1 - wf.maxStop(w, lo, hi)/float64(w))
+		}
+		r.Windows = append(r.Windows, MMUPoint{WindowCycles: w, MMU: mmu})
+	}
+	return r
+}
+
+// utilizationBetween returns the mutator utilization over [a, b] of the
+// retained timeline (the per-cycle utilization timeline samples).
+func (m *mmuState) utilizationBetween(a, b uint64) float64 {
+	if m == nil {
+		return 1
+	}
+	m.mu.Lock()
+	iv := append([]stopInterval(nil), m.iv...)
+	lo, hi := m.lo, m.hi
+	m.mu.Unlock()
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b <= a {
+		return 1
+	}
+	wf := buildWFunc(iv, lo, hi)
+	return clamp01(1 - (wf.eval(b)-wf.eval(a))/float64(b-a))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

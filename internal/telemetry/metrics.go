@@ -120,6 +120,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindSummary
 )
 
 func (k metricKind) String() string {
@@ -128,9 +129,23 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge:
 		return "gauge"
+	case kindSummary:
+		return "summary"
 	default:
 		return "histogram"
 	}
+}
+
+// QuantileSource backs a summary family: a live quantile sketch (such as
+// latency.Hist) the registry reads at scrape time instead of storing
+// samples itself.
+type QuantileSource interface {
+	// Quantile returns the q-quantile of the recorded samples, q in [0,1].
+	Quantile(q float64) float64
+	// Count returns the number of recorded samples.
+	Count() uint64
+	// Sum returns the sum of recorded samples.
+	Sum() float64
 }
 
 // series is one labelled instance within a family.
@@ -139,6 +154,7 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	q      QuantileSource
 }
 
 // family groups all label variants of one metric name.
@@ -259,6 +275,27 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	return s.h
 }
 
+// Summary registers (or re-points) the summary series with the given
+// name and label pairs, backed live by src: the exporters read quantiles,
+// count and sum from src at scrape time. Re-registering the same series
+// replaces its source (latest runtime wins, like SetGCLog). Nil-safe on a
+// nil registry.
+func (r *Registry) Summary(name, help string, src QuantileSource, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindSummary)
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	s.q = src
+}
+
 // sortedFamilies snapshots the family list sorted by name.
 func (r *Registry) sortedFamilies() []*family {
 	r.mu.Lock()
@@ -301,6 +338,18 @@ func histLabels(base string, le float64) string {
 	return base[:len(base)-1] + "," + entry + "}"
 }
 
+// summaryQuantiles are the quantiles every summary family exposes.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// quantLabels merges the quantile label into an existing label set.
+func quantLabels(base string, q float64) string {
+	entry := fmt.Sprintf("quantile=%q", fmt.Sprintf("%g", q))
+	if base == "" {
+		return "{" + entry + "}"
+	}
+	return base[:len(base)-1] + "," + entry + "}"
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format. Nil-safe on a nil registry (writes nothing).
 func (r *Registry) WritePrometheus(w io.Writer) {
@@ -328,6 +377,15 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, histLabels(s.labels, math.Inf(1)), cum)
 				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, fmtFloat(s.h.Sum()))
 				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.h.Count())
+			case kindSummary:
+				if s.q == nil {
+					continue
+				}
+				for _, q := range summaryQuantiles {
+					fmt.Fprintf(w, "%s%s %s\n", f.name, quantLabels(s.labels, q), fmtFloat(s.q.Quantile(q)))
+				}
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, fmtFloat(s.q.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.q.Count())
 			}
 		}
 	}
@@ -338,9 +396,10 @@ type jsonSeries struct {
 	Labels string `json:"labels,omitempty"`
 	Value  any    `json:"value,omitempty"`
 
-	Buckets map[string]uint64 `json:"buckets,omitempty"`
-	Sum     *float64          `json:"sum,omitempty"`
-	Count   *uint64           `json:"count,omitempty"`
+	Buckets   map[string]uint64  `json:"buckets,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	Sum       *float64           `json:"sum,omitempty"`
+	Count     *uint64            `json:"count,omitempty"`
 }
 
 // jsonFamily is the JSON snapshot shape of one metric family.
@@ -378,6 +437,16 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				cum += s.h.counts[len(s.h.bounds)].Load()
 				js.Buckets["+Inf"] = cum
 				sum, count := s.h.Sum(), s.h.Count()
+				js.Sum, js.Count = &sum, &count
+			case kindSummary:
+				if s.q == nil {
+					continue
+				}
+				js.Quantiles = make(map[string]float64, len(summaryQuantiles))
+				for _, q := range summaryQuantiles {
+					js.Quantiles[fmt.Sprintf("%g", q)] = s.q.Quantile(q)
+				}
+				sum, count := s.q.Sum(), s.q.Count()
 				js.Sum, js.Count = &sum, &count
 			}
 			jf.Series = append(jf.Series, js)

@@ -116,6 +116,81 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// fakeQuantiles is a canned QuantileSource for exposition tests.
+type fakeQuantiles struct {
+	n   uint64
+	sum float64
+	q   map[float64]float64
+}
+
+func (f fakeQuantiles) Count() uint64              { return f.n }
+func (f fakeQuantiles) Sum() float64               { return f.sum }
+func (f fakeQuantiles) Quantile(q float64) float64 { return f.q[q] }
+
+func TestWritePrometheusSummary(t *testing.T) {
+	reg := NewRegistry()
+	src := fakeQuantiles{n: 10, sum: 1234, q: map[float64]float64{
+		0.5: 5, 0.9: 9, 0.99: 42, 0.999: 99,
+	}}
+	reg.Summary("hcsgc_pausex_cycles", "Pause summary.", src, "phase", "stw1")
+	reg.Summary("hcsgc_stallx_cycles", "Stall summary.", src)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE hcsgc_pausex_cycles summary",
+		`hcsgc_pausex_cycles{phase="stw1",quantile="0.5"} 5`,
+		`hcsgc_pausex_cycles{phase="stw1",quantile="0.99"} 42`,
+		`hcsgc_pausex_cycles{phase="stw1",quantile="0.999"} 99`,
+		`hcsgc_pausex_cycles_sum{phase="stw1"} 1234`,
+		`hcsgc_pausex_cycles_count{phase="stw1"} 10`,
+		"# TYPE hcsgc_stallx_cycles summary",
+		`hcsgc_stallx_cycles{quantile="0.9"} 9`,
+		"hcsgc_stallx_cycles_count 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryReRegisterAndJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Summary("hcsgc_sumx", "help", fakeQuantiles{n: 1, q: map[float64]float64{0.5: 1}})
+	// Re-registration re-points the series at the latest source.
+	reg.Summary("hcsgc_sumx", "help", fakeQuantiles{n: 2, sum: 7, q: map[float64]float64{0.5: 3}})
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `hcsgc_sumx{quantile="0.5"} 3`) {
+		t.Errorf("latest source must win:\n%s", b.String())
+	}
+
+	var js strings.Builder
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name   string `json:"name"`
+		Type   string `json:"type"`
+		Series []struct {
+			Quantiles map[string]float64 `json:"quantiles"`
+			Count     *uint64            `json:"count"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(js.String()), &fams); err != nil {
+		t.Fatalf("JSON: %v\n%s", err, js.String())
+	}
+	if len(fams) != 1 || fams[0].Type != "summary" {
+		t.Fatalf("families = %+v", fams)
+	}
+	s := fams[0].Series[0]
+	if s.Quantiles["0.5"] != 3 || s.Count == nil || *s.Count != 2 {
+		t.Fatalf("summary series = %+v", s)
+	}
+}
+
 func TestExpBuckets(t *testing.T) {
 	got := ExpBuckets(100, 10, 3)
 	want := []float64{100, 1000, 10000}

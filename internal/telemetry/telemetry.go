@@ -74,13 +74,21 @@ func (k EventKind) String() string {
 	}
 }
 
-// CounterID names an EvCounter series. The locality profiler emits one
-// sample per counter per GC cycle.
+// CounterID names an EvCounter series. The locality profiler and the
+// latency tracker each emit one sample per counter per GC cycle.
 const (
 	CounterStreamCoverage uint32 = iota + 1
 	CounterSegPurity
 	CounterPageEntropy
 	CounterReuseP50
+	// The latency tracker's MMU ladder (default windows 1/5/20/100
+	// kcycles; CounterMMU1k..CounterMMU100k must stay contiguous) and the
+	// per-cycle mutator-utilization timeline.
+	CounterMMU1k
+	CounterMMU5k
+	CounterMMU20k
+	CounterMMU100k
+	CounterUtilization
 )
 
 // CounterName renders a CounterID as its Perfetto track name.
@@ -94,9 +102,27 @@ func CounterName(id uint32) string {
 		return "locality_page_entropy_bits"
 	case CounterReuseP50:
 		return "locality_reuse_p50_lines"
+	case CounterMMU1k:
+		return "latency_mmu_1k"
+	case CounterMMU5k:
+		return "latency_mmu_5k"
+	case CounterMMU20k:
+		return "latency_mmu_20k"
+	case CounterMMU100k:
+		return "latency_mmu_100k"
+	case CounterUtilization:
+		return "latency_mutator_utilization"
 	default:
 		return "counter"
 	}
+}
+
+// counterCat is the trace category of an EvCounter series.
+func counterCat(id uint32) string {
+	if id >= CounterMMU1k && id <= CounterUtilization {
+		return "latency"
+	}
+	return "locality"
 }
 
 // Relocation-race winners (EvRelocWin Arg).

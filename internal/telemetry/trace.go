@@ -84,7 +84,7 @@ func BuildTrace(events []Event) TraceFile {
 			// Ph "C" renders a counter track; Perfetto plots the value
 			// over time. One sample per GC cycle per series.
 			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
-				Name: CounterName(ev.Arg), Cat: "locality", Ph: "C",
+				Name: CounterName(ev.Arg), Cat: counterCat(ev.Arg), Ph: "C",
 				TS: us(ev.TimeNS), PID: tracePID, TID: 1,
 				Args: map[string]any{"value": math.Float64frombits(ev.A)},
 			})

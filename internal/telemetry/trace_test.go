@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"testing"
 )
 
@@ -70,5 +71,64 @@ func TestWriteTraceSpans(t *testing.T) {
 		if ev.Name == "reloc_win" && ev.Args["who"] != "mutator" {
 			t.Errorf("reloc_win who = %v, want mutator", ev.Args["who"])
 		}
+	}
+}
+
+// TestCounterTrackCategories: EvCounter events render as "C" counter
+// tracks whose category routes by series — locality counters stay in
+// "locality", the MMU/utilization ladder goes to "latency". The golden
+// snippet pins the exact rendering the /trace endpoint serves.
+func TestCounterTrackCategories(t *testing.T) {
+	r := NewRecorder(1, 64)
+	r.Record(EvCounter, CounterStreamCoverage, math.Float64bits(0.75), 1)
+	r.Record(EvCounter, CounterMMU1k, math.Float64bits(0.5), 1)
+	r.Record(EvCounter, CounterUtilization, math.Float64bits(0.875), 1)
+
+	tf := BuildTrace(r.Snapshot())
+	cats := map[string]string{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "C" {
+			t.Fatalf("counter event rendered as %q, want C", ev.Ph)
+		}
+		cats[ev.Name] = ev.Cat
+	}
+	if cats["locality_stream_coverage"] != "locality" {
+		t.Errorf("stream coverage cat = %q", cats["locality_stream_coverage"])
+	}
+	if cats["latency_mmu_1k"] != "latency" || cats["latency_mutator_utilization"] != "latency" {
+		t.Errorf("latency counters mis-categorized: %v", cats)
+	}
+
+	// Golden snippet: one MMU counter sample, minus the wall-clock ts.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range raw.TraceEvents {
+		if string(ev["name"]) != `"latency_mmu_1k"` {
+			continue
+		}
+		found = true
+		for field, want := range map[string]string{
+			"cat":  `"latency"`,
+			"ph":   `"C"`,
+			"pid":  `1`,
+			"tid":  `1`,
+			"args": `{"value":0.5}`,
+		} {
+			if got := string(ev[field]); got != want {
+				t.Errorf("golden mmu counter field %s = %s, want %s", field, got, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no latency_mmu_1k counter event in trace")
 	}
 }

@@ -49,6 +49,13 @@ type RunConfig struct {
 	// runtime (nil = disabled). The caller keeps the handle and reads
 	// the report after the run.
 	Locality *hcsgc.LocalityProfiler
+	// Latency overrides the run's latency tracker (nil = the runtime
+	// builds a default one; the plane is always-on). The caller keeps
+	// the handle and reads the report after the run.
+	Latency *hcsgc.LatencyTracker
+	// DisableLatency turns the latency-attribution plane off for the
+	// run (overhead baselines).
+	DisableLatency bool
 	// FaultInjector arms the run's fault-injection plane (nil =
 	// disarmed). Used by the chaos soak.
 	FaultInjector *hcsgc.FaultInjector
@@ -167,6 +174,8 @@ func newEnv(cfg RunConfig, heapDefault uint64, rootSlots int) *env {
 		StartDriver:     true,
 		Telemetry:       cfg.Telemetry,
 		Locality:        cfg.Locality,
+		Latency:         cfg.Latency,
+		DisableLatency:  cfg.DisableLatency,
 		FaultInjector:   cfg.FaultInjector,
 		Verifier:        cfg.Verifier,
 		StallRetries:    cfg.StallRetries,

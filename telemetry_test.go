@@ -77,9 +77,13 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE hcsgc_gc_cycles_total counter",
 		"hcsgc_gc_cycles_total 2",
-		"# TYPE hcsgc_pause_cycles histogram",
+		"# TYPE hcsgc_pause_cycles summary",
 		`hcsgc_pause_cycles_count{phase="stw1"} 2`,
-		`hcsgc_pause_cycles_bucket{phase="stw1",le="+Inf"}`,
+		`hcsgc_pause_cycles{phase="stw1",quantile="0.99"}`,
+		"# TYPE hcsgc_mmu_ratio gauge",
+		`hcsgc_mmu_ratio{window_cycles="1000"}`,
+		"# TYPE hcsgc_barrier_path_total counter",
+		`hcsgc_barrier_path_total{path="mark"}`,
 		`hcsgc_reloc_objects_total{who="mutator"}`,
 		`hcsgc_reloc_objects_total{who="gc"}`,
 		"# TYPE hcsgc_page_hotmap_density gauge",
@@ -144,6 +148,40 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	gclog := get("/gclog")
 	if !strings.Contains(gclog, "[gc] GC(1)") || !strings.Contains(gclog, "[gc] totals:") {
 		t.Errorf("/gclog missing cycle blocks:\n%s", gclog)
+	}
+
+	// --- /mmu: MMU curve JSON with the default window ladder.
+	var mmu struct {
+		Windows     []map[string]float64 `json:"windows"`
+		Utilization float64              `json:"utilization"`
+	}
+	if err := json.Unmarshal([]byte(get("/mmu")), &mmu); err != nil {
+		t.Fatalf("/mmu does not parse: %v", err)
+	}
+	if len(mmu.Windows) != 4 {
+		t.Errorf("/mmu windows = %d, want 4", len(mmu.Windows))
+	}
+	for _, w := range mmu.Windows {
+		if v := w["mmu"]; v < 0 || v > 1 {
+			t.Errorf("/mmu window %v: mmu %v outside [0,1]", w["window_cycles"], v)
+		}
+	}
+
+	// --- /flightrecorder: on-demand flight dump with per-cycle records.
+	var dump struct {
+		Reason string `json:"reason"`
+		Report struct {
+			Flight []map[string]any `json:"flight"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(get("/flightrecorder")), &dump); err != nil {
+		t.Fatalf("/flightrecorder does not parse: %v", err)
+	}
+	if dump.Reason != "on-demand" {
+		t.Errorf("/flightrecorder reason = %q, want on-demand", dump.Reason)
+	}
+	if len(dump.Report.Flight) != 2 {
+		t.Errorf("/flightrecorder cycles = %d, want 2", len(dump.Report.Flight))
 	}
 }
 
