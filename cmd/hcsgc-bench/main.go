@@ -8,6 +8,7 @@
 //	hcsgc-bench -exp fig9 -runs 30 -scale 0.06 -configs 0,2,3,4
 //	hcsgc-bench -exp fig4 -csv out.csv   # machine-readable output
 //	hcsgc-bench -chaos -chaos-runs 20    # fault-injection soak, verifier on
+//	hcsgc-bench -kv-report -kv-json kv.json  # KV serving SLO A/B (cfg 3 vs 4)
 //
 // Results are printed as text reports following the paper's §4.2 layout.
 package main
@@ -15,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -43,6 +45,9 @@ func main() {
 		latMode = flag.Bool("latency-report", false, "run a latency A/B report instead: pause/phase HDR percentiles, MMU ladder, barrier profile (-configs picks base,test; default 3,4)")
 		latJSON = flag.String("latency-json", "", "also write the latency A/B report as JSON to this file")
 
+		kvMode = flag.Bool("kv-report", false, "run the KV serving A/B report instead: open-loop load, per-phase request-latency percentiles and SLO curves (-configs picks base,test; default 3,4)")
+		kvJSON = flag.String("kv-json", "", "also write the KV serving A/B report as JSON to this file")
+
 		chaosMode = flag.Bool("chaos", false, "run a chaos soak instead: seeded fault schedules with the STW heap verifier on")
 		chaosSeed = flag.Int64("chaos-seed", 1, "base seed; run r uses seed chaos-seed+r (replay a failure with its printed seed and -chaos-runs 1)")
 		chaosRuns = flag.Int("chaos-runs", 0, "soak runs (0 = 20)")
@@ -63,12 +68,7 @@ func main() {
 	}
 
 	if *list {
-		for _, id := range bench.ExperimentIDs() {
-			fmt.Println(id)
-		}
-		for _, a := range bench.AblationNames() {
-			fmt.Printf("ablate:%s\n", a)
-		}
+		writeList(os.Stdout)
 		return
 	}
 	if *ablate != "" {
@@ -94,6 +94,13 @@ func main() {
 	if *latMode {
 		if err := runLatency(*exp, *runs, *scale, *seed, *configs, *latJSON, *quiet, sink); err != nil {
 			fmt.Fprintf(os.Stderr, "hcsgc-bench: latency: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kvMode {
+		if err := runKV(*runs, *scale, *seed, *configs, *kvJSON, *quiet, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: kv: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -134,6 +141,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hcsgc-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+}
+
+// writeList enumerates the runnable experiment ids (id first, one-line
+// description after), then the report modes and ablation sweeps.
+func writeList(w io.Writer) {
+	tableTitles := map[string]string{
+		"table1": "ZGC page size classes",
+		"table2": "benchmark configuration matrix (Table 2)",
+		"table3": "LAW-substitute graph inputs",
+	}
+	specs := bench.Specs()
+	fmt.Fprintln(w, "experiments (-exp):")
+	for _, id := range bench.ExperimentIDs() {
+		title := tableTitles[id]
+		if s, ok := specs[id]; ok {
+			title = s.Title
+		}
+		fmt.Fprintf(w, "  %-8s %s\n", id, title)
+	}
+	fmt.Fprintln(w, "report modes:")
+	for _, m := range []struct{ flag, desc string }{
+		{"(default)", "per-config timing/cache/GC sweep over Table 2 (fig4-13)"},
+		{"-locality", "locality A/B: reuse distance, stream coverage, page entropy"},
+		{"-latency-report", "latency A/B: pause/phase HDR percentiles, MMU ladder, barrier profile"},
+		{"-kv-report", "KV serving A/B: open-loop request latency percentiles and SLO curves per traffic phase"},
+		{"-chaos", "chaos soak: seeded fault schedules with the STW heap verifier"},
+	} {
+		fmt.Fprintf(w, "  %-16s %s\n", m.flag, m.desc)
+	}
+	fmt.Fprintln(w, "ablation sweeps (-ablate):")
+	for _, a := range bench.AblationNames() {
+		fmt.Fprintf(w, "  ablate:%s\n", a)
 	}
 }
 
@@ -275,6 +315,51 @@ func runLatency(exp string, runs int, scale float64, seed int64, configs string,
 		}
 		defer f.Close()
 		if err := bench.WriteLatencyJSON(f, ab); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runKV runs the -kv-report A/B mode: the KV server workload under a
+// baseline and a test configuration with a shared per-side metrics
+// accumulator, printing the per-phase percentile and SLO-curve report and
+// optionally writing the JSON artifact. With -telemetry-addr, in-flight
+// runs export hcsgc_kv_* metrics and serve the merged report on /kv.
+func runKV(runs int, scale float64, seed int64, configs string, jsonPath string, quiet bool, sink *hcsgc.TelemetrySink) error {
+	base, test := 3, 4 // RelocateAllSmallPages vs +LazyRelocate
+	if configs != "" {
+		ids, err := parseConfigs(configs)
+		if err != nil {
+			return err
+		}
+		if len(ids) != 2 {
+			return fmt.Errorf("-kv-report needs exactly two config ids (base,test), got %d", len(ids))
+		}
+		base, test = ids[0], ids[1]
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	progress := bench.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	ab, err := bench.RunKVAB(runs, scale, seed, base, test, sink, progress)
+	if err != nil {
+		return err
+	}
+	if err := bench.ValidateKVAB(ab); err != nil {
+		return err
+	}
+	bench.WriteKVReport(os.Stdout, ab)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteKVJSON(f, ab); err != nil {
 			return err
 		}
 	}

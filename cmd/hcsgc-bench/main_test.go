@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
 	"hcsgc"
+	"hcsgc/internal/bench"
 )
 
 func TestParseConfigs(t *testing.T) {
@@ -95,5 +98,74 @@ func TestRunLatencyTiny(t *testing.T) {
 func TestRunLatencyBadConfigs(t *testing.T) {
 	if err := runLatency("fig4", 1, 0.005, 1, "3", "", true, nil); err == nil {
 		t.Fatal("single config id must error")
+	}
+}
+
+// TestWriteList pins the -list output shape: every experiment id leads
+// its line with a one-line description after it, and every report mode
+// is enumerated.
+func TestWriteList(t *testing.T) {
+	var b strings.Builder
+	writeList(&b)
+	out := b.String()
+	for _, id := range []string{"fig4", "fig13", "kv", "table2"} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) > 1 && fields[0] == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("-list output missing described entry for %q:\n%s", id, out)
+		}
+	}
+	for _, mode := range []string{"-locality", "-latency-report", "-kv-report", "-chaos", "ablate:"} {
+		if !strings.Contains(out, mode) {
+			t.Errorf("-list output missing %q", mode)
+		}
+	}
+}
+
+// TestRunKVTiny drives the -kv-report mode end to end at tiny scale with
+// the telemetry sink attached, writing the JSON artifact, and checks the
+// hcsgc_kv_* families land in the exposition.
+func TestRunKVTiny(t *testing.T) {
+	sink := hcsgc.NewTelemetrySink()
+	jsonPath := t.TempDir() + "/kv-report.json"
+	if err := runKV(1, 0.01, 1, "3,4", jsonPath, true, sink); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("kv json artifact: %v", err)
+	}
+	var ab bench.KVAB
+	if err := json.Unmarshal(data, &ab); err != nil {
+		t.Fatalf("kv json artifact decode: %v", err)
+	}
+	if err := bench.ValidateKVAB(&ab); err != nil {
+		t.Fatalf("kv json artifact invalid: %v", err)
+	}
+	var b strings.Builder
+	sink.Metrics().WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`hcsgc_kv_requests_total{op="get"}`,
+		`hcsgc_kv_lookups_total{result="hit"}`,
+		`hcsgc_kv_request_cycles{phase="steady",quantile="0.999"}`,
+		"hcsgc_kv_sessions_retired_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRunKVBadConfigs rejects a malformed -configs pair.
+func TestRunKVBadConfigs(t *testing.T) {
+	if err := runKV(1, 0.01, 1, "3,4,16", "", true, nil); err == nil {
+		t.Fatal("three config ids must error")
 	}
 }

@@ -43,4 +43,18 @@ func register(reg *telemetry.Registry, suffix string) {
 
 	// Runtime-built names are skipped: not statically checkable.
 	reg.Counter("hcsgc_pause_"+suffix, "Dynamic name.")
+
+	// The KV serving families (internal/kvstore.Metrics.BindTelemetry)
+	// follow the same rules: labelled counter families with shared help,
+	// and a summary per traffic phase.
+	reg.Counter("hcsgc_kv_requests_total", "KV requests served.", "op", "get")
+	reg.Counter("hcsgc_kv_requests_total", "KV requests served.", "op", "set")
+	reg.Counter("hcsgc_kv_lookups_total", "KV lookups.", "result", "hit")
+	reg.Counter("hcsgc_kv_lookups_total", "KV lookups.", "result", "miss")
+	reg.Counter("hcsgc_kv_sessions_retired_total", "KV sessions retired.")
+	reg.Summary("hcsgc_kv_request_cycles", "KV request latency.", nil, "phase", "steady")
+	reg.Summary("hcsgc_kv_request_cycles", "KV request latency.", nil, "phase", "burst")
+	reg.Counter("hcsgc_kv_lookups_total", "Lookups.", "result", "hit") // want `registered with different help text`
+	reg.Gauge("hcsgc_kv_request_cycles", "KV request latency.")        // want `registered as Gauge here but as Summary`
+	reg.Summary("hcsgc_kv_hits_total", "Not a counter.", nil)          // want `_total suffix promises a monotonic counter`
 }

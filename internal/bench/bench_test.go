@@ -112,7 +112,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestSpecsCoverAllFigures(t *testing.T) {
 	specs := Specs()
-	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "kv"} {
 		s, ok := specs[id]
 		if !ok {
 			t.Errorf("missing spec %s", id)
@@ -122,8 +122,8 @@ func TestSpecsCoverAllFigures(t *testing.T) {
 			t.Errorf("spec %s incomplete: %+v", id, s)
 		}
 	}
-	if len(ExperimentIDs()) != 13 {
-		t.Error("3 tables + 10 figures expected")
+	if len(ExperimentIDs()) != 14 {
+		t.Error("3 tables + 10 figures + kv expected")
 	}
 }
 

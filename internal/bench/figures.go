@@ -25,6 +25,9 @@ func Specs() map[string]Spec {
 		"fig12": {ID: "fig12", Title: "DaCapo h2 (§4.6)", Runs: 5, Seed: 1},
 		"fig13": {ID: "fig13", Title: "SPECjbb2015 composite (§4.7)", Runs: 5, Seed: 1,
 			ScoreMetrics: []string{"max-jOPS", "critical-jOPS"}},
+		"kv": {ID: "kv", Title: "KV server under open-loop load (SLO latency)", Runs: 10, Seed: 1,
+			Configs:      []int{0, 3, 4, 16},
+			ScoreMetrics: []string{"kv-p99-steady", "kv-p999-burst", "kv-hit-rate"}},
 	}
 }
 
@@ -33,7 +36,7 @@ func ExperimentIDs() []string {
 	return []string{
 		"table1", "table2", "table3",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13",
+		"fig11", "fig12", "fig13", "kv",
 	}
 }
 

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hcsgc"
+	"hcsgc/internal/kvstore"
+	"hcsgc/internal/loadgen"
+	"hcsgc/internal/workloads"
+)
+
+// KVSide is one configuration's aggregated serving measurement in a KV
+// A/B comparison: every run's request-latency histograms merged slot-wise
+// into one accumulator, so the side's quantiles are exact over the union
+// of all runs' requests.
+type KVSide struct {
+	Config int    `json:"config"`
+	Knobs  string `json:"knobs"`
+	Runs   int    `json:"runs"`
+	// Report is the merged serving report (per-phase dists + SLO curves).
+	Report kvstore.Report `json:"report"`
+	// MeanExecSeconds is the mean simulated execution time, for context.
+	MeanExecSeconds float64 `json:"mean_exec_seconds"`
+	// GCCycles counts collections across all runs.
+	GCCycles int `json:"gc_cycles"`
+}
+
+// KVAB is a side-by-side serving-latency comparison of two configurations
+// on the KV server workload. The default pair (3 vs 4) isolates
+// LAZYRELOCATE: eager relocation concentrates cost in GC-adjacent
+// windows, lazy spreads it across mutator barriers — the report shows
+// which phases of traffic pay for each choice.
+type KVAB struct {
+	Runs  int     `json:"runs"`
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+
+	Base KVSide `json:"base"`
+	Test KVSide `json:"test"`
+}
+
+// RunKVAB runs the KV server workload under two configurations, runs
+// times each with per-run seeds, merging every run's request metrics into
+// the side's accumulator.
+func RunKVAB(runs int, scale float64, seed int64, baseCfg, testCfg int, sink *hcsgc.TelemetrySink, progress Progress) (*KVAB, error) {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	w, err := workloads.Get("kv")
+	if err != nil {
+		return nil, err
+	}
+	if runs <= 0 {
+		// The KV tail is dominated by rare, large stall/pause convoys;
+		// single runs are a coin flip over where they land. Ten runs
+		// (~60ms each at default scale) aggregate enough GC events that
+		// the per-phase p999 ordering is stable across invocations.
+		runs = 10
+	}
+	if scale <= 0 {
+		scale = 1 // the workload's default benchmarking scale
+	}
+	ab := &KVAB{Runs: runs, Scale: scale, Seed: seed}
+
+	checks := map[int]uint64{}
+	runSide := func(cfgID int) (KVSide, error) {
+		knobs := KnobsFor(cfgID)
+		side := KVSide{Config: cfgID, Knobs: knobs.String(), Runs: runs}
+		acc := kvstore.NewMetrics()
+		var exec float64
+		for run := 0; run < runs; run++ {
+			out, err := w.Run(workloads.RunConfig{
+				Knobs:     knobs,
+				Seed:      seed + int64(run),
+				Scale:     scale,
+				KV:        acc,
+				Telemetry: sink,
+			})
+			if err != nil {
+				return side, fmt.Errorf("kv: config %d run %d: %w", cfgID, run, err)
+			}
+			if prev, seen := checks[run]; seen && out.Check != prev {
+				return side, fmt.Errorf(
+					"kv: config %d run %d checksum %d != expected %d — GC configuration changed program results",
+					cfgID, run, out.Check, prev)
+			}
+			checks[run] = out.Check
+			exec += out.ExecSeconds
+			side.GCCycles += out.GCCycleCount
+			progress("kv config %-2d run %d/%d", cfgID, run+1, runs)
+		}
+		side.MeanExecSeconds = exec / float64(runs)
+		side.Report = acc.Report(nil)
+		return side, nil
+	}
+
+	if ab.Base, err = runSide(baseCfg); err != nil {
+		return nil, err
+	}
+	if ab.Test, err = runSide(testCfg); err != nil {
+		return nil, err
+	}
+	return ab, nil
+}
+
+// ValidateKVAB checks a KV A/B report's well-formedness: both sides pass
+// the serving report's structural validation, every phase recorded
+// requests, and the two sides served identical request counts per phase
+// (the schedule is open-loop and seeded, so any divergence is a harness
+// bug). Used by the CI smoke step.
+func ValidateKVAB(ab *KVAB) error {
+	for _, s := range []struct {
+		name string
+		side *KVSide
+	}{{"base", &ab.Base}, {"test", &ab.Test}} {
+		if err := s.side.Report.Validate(); err != nil {
+			return fmt.Errorf("kv: %s side: %w", s.name, err)
+		}
+		for _, p := range s.side.Report.Phases {
+			if p.Dist.Count == 0 {
+				return fmt.Errorf("kv: %s side phase %q recorded no requests", s.name, p.Phase)
+			}
+		}
+	}
+	for i := range ab.Base.Report.Phases {
+		bc := ab.Base.Report.Phases[i].Dist.Count
+		tc := ab.Test.Report.Phases[i].Dist.Count
+		if bc != tc {
+			return fmt.Errorf("kv: phase %q request counts differ: base %d, test %d",
+				ab.Base.Report.Phases[i].Phase, bc, tc)
+		}
+	}
+	return nil
+}
+
+// WriteKVReport renders the A/B comparison as aligned text tables: the
+// per-phase latency distributions, each phase's SLO curve side by side,
+// and the tail-latency headline.
+func WriteKVReport(w io.Writer, ab *KVAB) {
+	fmt.Fprintf(w, "=== KV serving A/B: open-loop load, %d runs, scale %g ===\n",
+		ab.Runs, ab.Scale)
+	fmt.Fprintf(w, "base: cfg %d (%s)   test: cfg %d (%s)\n",
+		ab.Base.Config, ab.Base.Knobs, ab.Test.Config, ab.Test.Knobs)
+	fmt.Fprintf(w, "request latency in virtual cycles, enqueue to completion (open-loop arrivals)\n\n")
+
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %9s %9s | %9s %9s %9s %9s\n", "phase",
+		"n", "p50", "p99", "p999", "p9999", "p50", "p99", "p999", "p9999")
+	for i := range ab.Base.Report.Phases {
+		bp, tp := ab.Base.Report.Phases[i], ab.Test.Report.Phases[i]
+		fmt.Fprintf(w, "%-10s %9d %9.0f %9.0f %9.0f %9.0f | %9.0f %9.0f %9.0f %9.0f\n",
+			bp.Phase, bp.Dist.Count,
+			bp.Dist.P50, bp.Dist.P99, bp.Dist.P999, bp.Dist.P9999,
+			tp.Dist.P50, tp.Dist.P99, tp.Dist.P999, tp.Dist.P9999)
+	}
+
+	for i := range ab.Base.Report.Phases {
+		bp, tp := ab.Base.Report.Phases[i], ab.Test.Report.Phases[i]
+		fmt.Fprintf(w, "\nSLO curve, %s phase (fraction of requests completing within X cycles)\n", bp.Phase)
+		fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "threshold", "base", "test", "delta")
+		for j := range bp.SLO {
+			b, t := bp.SLO[j], tp.SLO[j]
+			fmt.Fprintf(w, "%-16d %10.4f %10.4f %+10.4f\n",
+				b.Threshold, b.Fraction, t.Fraction, t.Fraction-b.Fraction)
+		}
+	}
+
+	fmt.Fprintf(w, "\ntail headline (p999 by phase):\n")
+	for i := range ab.Base.Report.Phases {
+		bp, tp := ab.Base.Report.Phases[i], ab.Test.Report.Phases[i]
+		delta := ""
+		if bp.Dist.P999 != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(tp.Dist.P999-bp.Dist.P999)/bp.Dist.P999)
+		}
+		fmt.Fprintf(w, "  %-8s %9.0f -> %9.0f cycles  %s\n",
+			bp.Phase, bp.Dist.P999, tp.Dist.P999, delta)
+	}
+	b, t := ab.Base.Report, ab.Test.Report
+	fmt.Fprintf(w, "ops: get %d, set %d, delete %d, scan %d; hit rate: base %.4f, test %.4f; sessions retired: %d\n",
+		b.Ops[loadgen.OpGet.String()], b.Ops[loadgen.OpSet.String()],
+		b.Ops[loadgen.OpDelete.String()], b.Ops[loadgen.OpScan.String()],
+		hitRate(b), hitRate(t), b.SessionsRetired)
+	fmt.Fprintf(w, "exec seconds (mean): base %.4f, test %.4f; GC cycles: base %d, test %d\n",
+		ab.Base.MeanExecSeconds, ab.Test.MeanExecSeconds, ab.Base.GCCycles, ab.Test.GCCycles)
+}
+
+func hitRate(r kvstore.Report) float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// WriteKVJSON renders the full A/B result as indented JSON, the artifact
+// format the CI job uploads.
+func WriteKVJSON(w io.Writer, ab *KVAB) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ab)
+}

@@ -24,6 +24,14 @@ func (c *Collector) virtualNow() uint64 {
 	if c.lat == nil {
 		return 0
 	}
+	return c.VirtualCycles()
+}
+
+// VirtualCycles computes the current virtual time unconditionally (the
+// latency tracker's presence only gates the cheap internal fast path, not
+// the clock itself). Serving-workload harnesses use it as the global
+// request clock; note the cost is one walk over the attached mutators.
+func (c *Collector) VirtualCycles() uint64 {
 	var maxMut uint64
 	c.mutMu.Lock()
 	for m := range c.muts {
@@ -42,6 +50,12 @@ func (c *Collector) virtualNow() uint64 {
 			return now
 		}
 	}
+}
+
+// PauseCycles returns the accumulated STW pause cost on the virtual
+// timeline (only maintained while a latency tracker is attached).
+func (c *Collector) PauseCycles() uint64 {
+	return c.pauseTotal.Load()
 }
 
 // pauseStartClock samples the virtual clock at a pause start (world

@@ -51,6 +51,13 @@ type Mutator struct {
 	extra atomic.Uint64
 	// work accumulates application compute cycles reported via Work.
 	work atomic.Uint64
+	// stallVirtual accumulates the virtual-cycle duration of this
+	// mutator's allocation stalls, net of STW pause cost (which
+	// VirtualCycles adds separately). While a mutator stalls its own
+	// ledger is frozen but the world moves on; this counter carries that
+	// elapsed virtual time so the stall is visible on the mutator's
+	// clock. Only maintained while a latency tracker is attached.
+	stallVirtual atomic.Uint64
 
 	// Stalls counts allocation stalls.
 	Stalls uint64
@@ -114,6 +121,23 @@ func (m *Mutator) RequestGC() {
 	m.c.sp.endBlocked()
 }
 
+// Blocked runs fn with the mutator counted as stopped for the safepoint
+// protocol, like JNI native code in HotSpot: the collector may pause the
+// world while fn runs without waiting for this mutator to poll. fn must
+// not touch the managed heap; root slots remain visible to the collector
+// (and are healed by relocation) for the duration. References held in Go
+// locals are invalidated, exactly as across any other safepoint.
+//
+// Multi-threaded embedders need this wherever a mutator goroutine waits
+// on channels, WaitGroups or other mutators — an attached mutator that
+// neither polls nor blocks deadlocks the next stop-the-world.
+func (m *Mutator) Blocked(fn func()) {
+	m.flushMarkBuf()
+	m.c.sp.beginBlocked()
+	fn()
+	m.c.sp.endBlocked()
+}
+
 // Work charges n cycles of application compute to this mutator's ledger.
 func (m *Mutator) Work(n uint64) { m.work.Add(n) }
 
@@ -125,6 +149,19 @@ func (m *Mutator) Cycles() uint64 {
 		mem = m.core.Cycles()
 	}
 	return mem + m.extra.Load() + m.ctx.extra.Load() + m.work.Load()
+}
+
+// VirtualCycles returns this mutator's position on the virtual timeline:
+// its own cycle ledger, plus the global STW pause cost (pauses stop every
+// mutator), plus the virtual duration of its own allocation stalls
+// (during which its ledger is frozen while other mutators and the
+// collector make progress). Open-loop serving harnesses measure request
+// latency against this clock, so GC pauses and allocation stalls are
+// charged to in-flight requests instead of vanishing. The pause and
+// stall components are only maintained while a latency tracker is
+// attached; without one this degrades to Cycles().
+func (m *Mutator) VirtualCycles() uint64 {
+	return m.Cycles() + m.c.pauseTotal.Load() + m.stallVirtual.Load()
 }
 
 // Core exposes the mutator's cache-model core (may be nil when the runtime
@@ -268,9 +305,10 @@ func (m *Mutator) allocStall(size uint64, alloc func() (uint64, error)) (uint64,
 		m.c.stallCount.Add(1)
 		m.c.tm.allocStalls.Inc()
 		prev := m.c.cycles.Load()
-		var stallStart uint64
+		var stallStart, pauseBefore uint64
 		if m.c.lat != nil {
 			stallStart = m.c.virtualNow()
+			pauseBefore = m.c.pauseTotal.Load()
 		}
 		m.c.sp.beginBlocked()
 		if backoff := m.c.cfg.StallBackoff; backoff > 0 && attempt > 1 {
@@ -279,7 +317,15 @@ func (m *Mutator) allocStall(size uint64, alloc func() (uint64, error)) (uint64,
 		m.c.collectIfDue(prev, "allocation stall")
 		m.c.sp.endBlocked()
 		if m.c.lat != nil {
-			m.c.lat.RecordStall(stallStart, m.c.virtualNow(), m.c.mutatorStallWeight())
+			stallEnd := m.c.virtualNow()
+			// Charge the stall's elapsed virtual time to this mutator's
+			// VirtualCycles clock, net of the pause cost accrued inside
+			// the stall (the clock adds pauseTotal separately).
+			pauseDelta := m.c.pauseTotal.Load() - pauseBefore
+			if d := stallEnd - stallStart; d > pauseDelta {
+				m.stallVirtual.Add(d - pauseDelta)
+			}
+			m.c.lat.RecordStall(stallStart, stallEnd, m.c.mutatorStallWeight())
 		}
 	}
 }

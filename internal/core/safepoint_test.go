@@ -240,3 +240,104 @@ func TestMarkPoolWorkStealingOrder(t *testing.T) {
 		t.Fatalf("got %v, want freshest chunk", c)
 	}
 }
+
+// TestBlockedMutatorDoesNotStallSTW is the contract multi-threaded
+// embedders (the KV server workload) rely on: a mutator idling inside
+// Blocked counts as stopped, so another mutator can run a full GC cycle
+// without the idler ever polling. Without Blocked this scenario deadlocks
+// in stopTheWorld.
+func TestBlockedMutatorDoesNotStallSTW(t *testing.T) {
+	c, types := testEnv(t, Knobs{})
+	node := types.Register("node", 2, []int{0})
+
+	idler := c.NewMutator(4)
+	defer idler.Close()
+	buildList(idler, node, 100)
+
+	worker := c.NewMutator(4)
+	defer worker.Close()
+	buildList(worker, node, 100)
+
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		idler.Blocked(func() {
+			close(parked)
+			<-release
+		})
+		close(done)
+	}()
+	<-parked
+
+	// GC from the worker while the idler is blocked: must complete, and
+	// must scan + heal the idler's roots like any other mutator's.
+	gcDone := make(chan struct{})
+	go func() {
+		worker.RequestGC()
+		close(gcDone)
+	}()
+	select {
+	case <-gcDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("GC deadlocked on a Blocked mutator")
+	}
+
+	close(release)
+	<-done
+	walkList(t, idler, 100)
+	walkList(t, worker, 100)
+	if c.Cycles() == 0 {
+		t.Fatal("no GC cycle ran")
+	}
+}
+
+// TestBlockedWaitsOutActivePause: leaving a blocked section while the
+// world is stopped must park until the resume, not touch the heap.
+func TestBlockedWaitsOutActivePause(t *testing.T) {
+	s := newSafepoints()
+	s.register() // the blocked mutator
+	s.register() // the polling mutator (parks immediately below)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		s.beginBlocked()
+		close(entered)
+		<-release // hold the blocked section open across the pause
+		s.endBlocked()
+		close(exited)
+	}()
+	<-entered
+
+	pollerParked := make(chan struct{})
+	pollerStop := make(chan struct{})
+	go func() {
+		close(pollerParked)
+		for {
+			s.poll()
+			select {
+			case <-pollerStop:
+				return
+			default:
+			}
+		}
+	}()
+	<-pollerParked
+
+	s.stopTheWorld()
+	close(release)
+	select {
+	case <-exited:
+		t.Fatal("endBlocked returned while the world was stopped")
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.resumeTheWorld()
+	select {
+	case <-exited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("endBlocked never returned after resume")
+	}
+	close(pollerStop)
+}

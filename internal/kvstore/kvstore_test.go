@@ -1,0 +1,172 @@
+package kvstore
+
+import (
+	"strings"
+	"testing"
+
+	"hcsgc"
+	"hcsgc/internal/loadgen"
+	"hcsgc/internal/telemetry"
+)
+
+func newTestStore(t *testing.T, heapBytes uint64, expectKeys int) (*Store, *hcsgc.Mutator, func()) {
+	t.Helper()
+	rt := hcsgc.MustNewRuntime(hcsgc.Options{
+		HeapMaxBytes:    heapBytes,
+		DisableMemModel: true,
+	})
+	m := rt.NewMutator(RootSlots)
+	s := New(m, RegisterTypes(rt.Types), expectKeys)
+	return s, m, func() { m.Close(); rt.Close() }
+}
+
+func TestStoreBasicOps(t *testing.T) {
+	s, _, done := newTestStore(t, 64<<20, 256)
+	defer done()
+
+	if _, hit := s.Get(7); hit {
+		t.Fatal("empty store reported a hit")
+	}
+	if v := s.Set(7, 8); v != 1 {
+		t.Fatalf("first Set version = %d, want 1", v)
+	}
+	sum, hit := s.Get(7)
+	if !hit || sum != ValueSum(7, 1, 8) {
+		t.Fatalf("Get(7) = (%d,%v), want (%d,true)", sum, hit, ValueSum(7, 1, 8))
+	}
+	if v := s.Set(7, 12); v != 2 {
+		t.Fatalf("second Set version = %d, want 2", v)
+	}
+	sum, _ = s.Get(7)
+	if sum != ValueSum(7, 2, 12) {
+		t.Fatalf("Get after update = %d, want %d", sum, ValueSum(7, 2, 12))
+	}
+	if s.Version(7) != 2 || s.Version(8) != 0 {
+		t.Fatalf("Version(7)=%d Version(8)=%d, want 2, 0", s.Version(7), s.Version(8))
+	}
+	if !s.Delete(7) || s.Delete(7) {
+		t.Fatal("Delete must report presence exactly once")
+	}
+	if _, hit := s.Get(7); hit {
+		t.Fatal("deleted key still readable")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", s.Len())
+	}
+}
+
+// TestStoreSurvivesGC churns keys through inserts, updates and deletes
+// across explicit GC cycles and checks every surviving payload against
+// the ValueSum oracle — entries and payloads must survive relocation.
+func TestStoreSurvivesGC(t *testing.T) {
+	s, m, done := newTestStore(t, 16<<20, 512)
+	defer done()
+
+	const keys = 400
+	version := make(map[uint64]uint64)
+	for round := 0; round < 3; round++ {
+		for k := uint64(0); k < keys; k++ {
+			s.Set(k, 8+int(k%24))
+			version[k]++
+		}
+		// Delete a rotating third to create chain-unlink traffic.
+		for k := uint64(round); k < keys; k += 3 {
+			if s.Delete(k) {
+				delete(version, k)
+			}
+		}
+		m.RequestGC()
+		for k, v := range version {
+			sum, hit := s.Get(k)
+			if !hit {
+				t.Fatalf("round %d: key %d lost after GC", round, k)
+			}
+			if want := ValueSum(k, v, 8+int(k%24)); sum != want {
+				t.Fatalf("round %d: key %d sum %d, want %d", round, k, sum, want)
+			}
+		}
+		if s.Len() != len(version) {
+			t.Fatalf("round %d: Len=%d, want %d", round, s.Len(), len(version))
+		}
+	}
+	gotSum, touched := s.Scan(0, 1<<30)
+	if touched != s.Len() {
+		t.Fatalf("full Scan touched %d entries, want %d", touched, s.Len())
+	}
+	if gotSum == 0 {
+		t.Fatal("full Scan over a populated store summed to 0")
+	}
+}
+
+func TestMetricsReportAndMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	for i := uint64(1); i <= 100; i++ {
+		a.RecordRequest(loadgen.PhaseSteady, loadgen.OpGet, i*100)
+		b.RecordRequest(loadgen.PhaseBurst, loadgen.OpSet, i*1000)
+	}
+	a.RecordLookup(true)
+	a.RecordLookup(false)
+	b.RecordSessionRetired()
+	a.Merge(b)
+
+	r := a.Report(nil)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if r.Phases[loadgen.PhaseSteady].Dist.Count != 100 ||
+		r.Phases[loadgen.PhaseBurst].Dist.Count != 100 {
+		t.Fatalf("merged phase counts = %d/%d, want 100/100",
+			r.Phases[loadgen.PhaseSteady].Dist.Count, r.Phases[loadgen.PhaseBurst].Dist.Count)
+	}
+	if r.Ops["get"] != 100 || r.Ops["set"] != 100 {
+		t.Fatalf("merged ops = %v", r.Ops)
+	}
+	if r.Hits != 1 || r.Misses != 1 || r.SessionsRetired != 1 {
+		t.Fatalf("counters = %d/%d/%d", r.Hits, r.Misses, r.SessionsRetired)
+	}
+	// The steady phase saw latencies 100..10000: the 20k rung must cover
+	// everything, the 2k rung only a prefix (the 10k sample itself sits
+	// in a slot whose upper bound exceeds 10k — HDR slot granularity).
+	var lo, hi float64
+	for _, p := range r.Phases[loadgen.PhaseSteady].SLO {
+		switch p.Threshold {
+		case 2_000:
+			lo = p.Fraction
+		case 20_000:
+			hi = p.Fraction
+		}
+	}
+	if hi != 1 || lo >= hi || lo == 0 {
+		t.Fatalf("steady SLO fractions lo=%v hi=%v, want 0<lo<hi=1", lo, hi)
+	}
+
+	// Validate must reject a non-monotone curve.
+	bad := a.Report(nil)
+	bad.Phases[0].SLO[0].Fraction = 2
+	if bad.Validate() == nil {
+		t.Fatal("Validate accepted an out-of-range SLO fraction")
+	}
+}
+
+func TestMetricsBindTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	mx := NewMetrics()
+	mx.BindTelemetry(reg)
+	mx.RecordRequest(loadgen.PhaseSteady, loadgen.OpGet, 500)
+	mx.RecordLookup(true)
+	mx.RecordSessionRetired()
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`hcsgc_kv_requests_total{op="get"} 1`,
+		`hcsgc_kv_lookups_total{result="hit"} 1`,
+		`hcsgc_kv_sessions_retired_total 1`,
+		`hcsgc_kv_request_cycles{phase="steady",quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"hcsgc/internal/loadgen"
+	"hcsgc/internal/telemetry"
+	"hcsgc/internal/telemetry/latency"
+)
+
+// Metrics accumulates the serving-side measurements of a KV run:
+// per-phase request-latency HDR histograms on the virtual-cycle
+// timeline, per-op counters, lookup hit/miss counters and session
+// retirements. All recording is lock-free; instances merge across server
+// threads and across A/B repeat runs (histograms add slot-wise, so the
+// merged quantiles are exact over the union of samples).
+type Metrics struct {
+	phase   [loadgen.NumPhases]*latency.Hist
+	ops     [loadgen.NumOps]atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	retired atomic.Uint64
+
+	// Live telemetry handles; nil until BindTelemetry (Counter is
+	// nil-safe, so recording never branches on bound-ness).
+	tOps  [loadgen.NumOps]*telemetry.Counter
+	tHit  *telemetry.Counter
+	tMiss *telemetry.Counter
+	tRet  *telemetry.Counter
+}
+
+// NewMetrics returns an empty accumulator.
+func NewMetrics() *Metrics {
+	mx := &Metrics{}
+	for i := range mx.phase {
+		mx.phase[i] = latency.NewHist()
+	}
+	return mx
+}
+
+// RecordRequest records one completed request: its phase, op, and
+// enqueue-to-completion latency in virtual cycles.
+func (mx *Metrics) RecordRequest(phase int, op loadgen.Op, latV uint64) {
+	if mx == nil {
+		return
+	}
+	if phase >= 0 && phase < len(mx.phase) {
+		mx.phase[phase].Record(latV)
+	}
+	if op < loadgen.NumOps {
+		mx.ops[op].Add(1)
+		mx.tOps[op].Inc()
+	}
+}
+
+// RecordLookup records a GET hit or miss.
+func (mx *Metrics) RecordLookup(hit bool) {
+	if mx == nil {
+		return
+	}
+	if hit {
+		mx.hits.Add(1)
+		mx.tHit.Inc()
+	} else {
+		mx.misses.Add(1)
+		mx.tMiss.Inc()
+	}
+}
+
+// RecordSessionRetired records one retired key-range session.
+func (mx *Metrics) RecordSessionRetired() {
+	if mx == nil {
+		return
+	}
+	mx.retired.Add(1)
+	mx.tRet.Inc()
+}
+
+// Merge folds o into mx (histograms slot-wise, counters additively).
+// Telemetry handles are not merged; bind the destination instead.
+func (mx *Metrics) Merge(o *Metrics) {
+	if mx == nil || o == nil {
+		return
+	}
+	for i := range mx.phase {
+		mx.phase[i].Merge(o.phase[i])
+	}
+	for i := range mx.ops {
+		mx.ops[i].Add(o.ops[i].Load())
+	}
+	mx.hits.Add(o.hits.Load())
+	mx.misses.Add(o.misses.Load())
+	mx.retired.Add(o.retired.Load())
+}
+
+// BindTelemetry registers the hcsgc_kv_* metric families with a registry
+// and points the live counter handles at it. Per-phase latency summaries
+// are backed live by the HDR histograms, so scrapes see quantiles
+// without snapshotting.
+func (mx *Metrics) BindTelemetry(reg *telemetry.Registry) {
+	if mx == nil || reg == nil {
+		return
+	}
+	for op := loadgen.Op(0); op < loadgen.NumOps; op++ {
+		mx.tOps[op] = reg.Counter("hcsgc_kv_requests_total",
+			"KV requests completed, by operation.", "op", op.String())
+	}
+	mx.tHit = reg.Counter("hcsgc_kv_lookups_total",
+		"KV GET lookups, by outcome.", "result", "hit")
+	mx.tMiss = reg.Counter("hcsgc_kv_lookups_total",
+		"KV GET lookups, by outcome.", "result", "miss")
+	mx.tRet = reg.Counter("hcsgc_kv_sessions_retired_total",
+		"KV key-range sessions retired by churn.")
+	for i, name := range loadgen.PhaseNames {
+		reg.Summary("hcsgc_kv_request_cycles",
+			"KV request latency in virtual cycles, by load phase.",
+			mx.phase[i], "phase", name)
+	}
+}
+
+// Dist is one phase's latency distribution summary. Quantiles carry the
+// HDR histogram's <=1/32 relative slot error; Max is exact.
+type Dist struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	P9999 float64 `json:"p9999"`
+	Max   uint64  `json:"max"`
+}
+
+func distOf(h *latency.Hist) Dist {
+	return Dist{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		P9999: h.Quantile(0.9999),
+		Max:   h.Max(),
+	}
+}
+
+// SLOPoint is one rung of the SLO ladder: the fraction of requests whose
+// latency was <= Threshold virtual cycles (an MMU-style curve over the
+// request distribution rather than the mutator timeline).
+type SLOPoint struct {
+	Threshold uint64  `json:"threshold_cycles"`
+	Fraction  float64 `json:"fraction"`
+}
+
+// DefaultSLOThresholds is the report's threshold ladder, spanning
+// barrier-only fast requests through multi-pause stalls.
+func DefaultSLOThresholds() []uint64 {
+	return []uint64{2_000, 5_000, 10_000, 20_000, 50_000,
+		100_000, 200_000, 500_000, 1_000_000, 5_000_000}
+}
+
+// PhaseReport is one load phase's latency view.
+type PhaseReport struct {
+	Phase string     `json:"phase"`
+	Dist  Dist       `json:"dist"`
+	SLO   []SLOPoint `json:"slo"`
+}
+
+// Report is the serving-side summary of a KV run (or merged runs).
+type Report struct {
+	Phases          []PhaseReport     `json:"phases"`
+	Ops             map[string]uint64 `json:"ops"`
+	Hits            uint64            `json:"hits"`
+	Misses          uint64            `json:"misses"`
+	SessionsRetired uint64            `json:"sessions_retired"`
+}
+
+// Report snapshots the accumulated metrics. A nil or empty thresholds
+// slice selects DefaultSLOThresholds; thresholds are reported sorted.
+func (mx *Metrics) Report(thresholds []uint64) Report {
+	if len(thresholds) == 0 {
+		thresholds = DefaultSLOThresholds()
+	} else {
+		thresholds = append([]uint64(nil), thresholds...)
+		sort.Slice(thresholds, func(i, j int) bool { return thresholds[i] < thresholds[j] })
+	}
+	r := Report{Ops: make(map[string]uint64, loadgen.NumOps)}
+	for i, name := range loadgen.PhaseNames {
+		h := mx.phase[i]
+		pr := PhaseReport{Phase: name, Dist: distOf(h)}
+		for _, th := range thresholds {
+			pr.SLO = append(pr.SLO, SLOPoint{Threshold: th, Fraction: h.FractionLE(th)})
+		}
+		r.Phases = append(r.Phases, pr)
+	}
+	for op := loadgen.Op(0); op < loadgen.NumOps; op++ {
+		r.Ops[op.String()] = mx.ops[op].Load()
+	}
+	r.Hits = mx.hits.Load()
+	r.Misses = mx.misses.Load()
+	r.SessionsRetired = mx.retired.Load()
+	return r
+}
+
+// Validate checks a report's structural invariants: every phase present
+// with a monotone SLO curve, and op counts consistent with the lookup
+// counters. It is the shape check behind the bench JSON round-trip test.
+func (r Report) Validate() error {
+	if len(r.Phases) != len(loadgen.PhaseNames) {
+		return fmt.Errorf("kvstore: report has %d phases, want %d",
+			len(r.Phases), len(loadgen.PhaseNames))
+	}
+	for i, pr := range r.Phases {
+		if pr.Phase != loadgen.PhaseNames[i] {
+			return fmt.Errorf("kvstore: phase %d named %q, want %q",
+				i, pr.Phase, loadgen.PhaseNames[i])
+		}
+		if len(pr.SLO) == 0 {
+			return fmt.Errorf("kvstore: phase %q has no SLO curve", pr.Phase)
+		}
+		prev := SLOPoint{}
+		for _, p := range pr.SLO {
+			if p.Threshold < prev.Threshold || p.Fraction < prev.Fraction {
+				return fmt.Errorf("kvstore: phase %q SLO curve not monotone at threshold %d",
+					pr.Phase, p.Threshold)
+			}
+			if p.Fraction < 0 || p.Fraction > 1 {
+				return fmt.Errorf("kvstore: phase %q SLO fraction %v out of [0,1]",
+					pr.Phase, p.Fraction)
+			}
+			prev = p
+		}
+		d := pr.Dist
+		if d.Count > 0 && (d.P50 > d.P99 || d.P99 > d.P999 || d.P999 > d.P9999 ||
+			d.P9999 > float64(d.Max)) {
+			return fmt.Errorf("kvstore: phase %q quantiles not monotone", pr.Phase)
+		}
+	}
+	if r.Hits+r.Misses > 0 && r.Ops[loadgen.OpGet.String()] == 0 {
+		return fmt.Errorf("kvstore: lookups recorded without GET ops")
+	}
+	return nil
+}

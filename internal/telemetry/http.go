@@ -21,6 +21,7 @@ type Sink struct {
 	gclog    func(io.Writer)
 	locality func() any
 	mmu      func() any
+	kv       func() any
 	flight   func(io.Writer) error
 
 	// dropped mirrors the recorder's loss counters into the registry at
@@ -109,6 +110,18 @@ func (s *Sink) SetMMU(fn func() any) {
 	s.mu.Unlock()
 }
 
+// SetKV installs the snapshot source behind the /kv endpoint (typically
+// a closure over kvstore.Metrics.Report). The returned value is rendered
+// as JSON. Nil-safe; the latest workload wins.
+func (s *Sink) SetKV(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.kv = fn
+	s.mu.Unlock()
+}
+
 // SetFlightRecorder installs the dump renderer behind the /flightrecorder
 // endpoint (typically a closure over latency.Tracker.WriteFlight).
 // Nil-safe; the latest runtime wins.
@@ -140,8 +153,8 @@ func (s *Sink) WriteFlightRecorder(w io.Writer) error {
 // Handler returns the HTTP mux serving /metrics (Prometheus text),
 // /metrics.json (JSON snapshot), /trace (Chrome trace_event JSON),
 // /gclog (ZGC-style text log), /locality (locality-profiler report),
-// /mmu (minimum-mutator-utilization curve) and /flightrecorder (latency
-// flight-recorder dump).
+// /mmu (minimum-mutator-utilization curve), /kv (KV serving report) and
+// /flightrecorder (latency flight-recorder dump).
 func (s *Sink) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -195,6 +208,19 @@ func (s *Sink) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(fn())
 	})
+	mux.HandleFunc("/kv", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.kv
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			io.WriteString(w, "null\n")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fn())
+	})
 	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
 		fn := s.flight
@@ -211,7 +237,7 @@ func (s *Sink) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /flightrecorder")
+		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /kv /flightrecorder")
 	})
 	return mux
 }

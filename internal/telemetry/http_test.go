@@ -73,7 +73,24 @@ func TestSinkEndpoints(t *testing.T) {
 		t.Errorf("/gclog = %q", gclog)
 	}
 
+	kvNull, kvType := get("/kv")
+	if strings.TrimSpace(kvNull) != "null" {
+		t.Errorf("/kv without a source = %q, want null", kvNull)
+	}
+	if !strings.HasPrefix(kvType, "application/json") {
+		t.Errorf("/kv content type %q", kvType)
+	}
+	sink.SetKV(func() any { return map[string]int{"hits": 7} })
+	kvBody, _ := get("/kv")
+	var kv map[string]int
+	if err := json.Unmarshal([]byte(kvBody), &kv); err != nil || kv["hits"] != 7 {
+		t.Errorf("/kv = %q (err %v), want hits 7", kvBody, err)
+	}
+
 	index, _ := get("/")
+	if !strings.Contains(index, "/kv") {
+		t.Errorf("index missing /kv: %q", index)
+	}
 	if !strings.Contains(index, "/metrics") {
 		t.Errorf("index = %q", index)
 	}

@@ -148,6 +148,29 @@ func (h *Hist) Quantile(q float64) float64 {
 	return float64(h.max.Load())
 }
 
+// FractionLE returns the fraction of recorded samples whose slot upper
+// bound is <= v — the empirical CDF at v, resolved at slot granularity
+// (the same <=1/halfSub relative error as quantiles). The KV SLO curve
+// ("fraction of requests under X cycles") is built from this. An empty
+// histogram reports 0; a nil one likewise.
+func (h *Hist) FractionLE(v uint64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	var cum uint64
+	for i := 0; i < numSlots; i++ {
+		if slotUpper(i) > v {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return float64(cum) / float64(total)
+}
+
 // Merge folds o's samples into h. Slot layouts are fixed, so this is
 // element-wise addition; quantiles of the result match a histogram fed
 // both sample streams.

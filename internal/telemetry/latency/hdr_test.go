@@ -130,3 +130,50 @@ func TestHistEmptyQuantile(t *testing.T) {
 		t.Fatalf("empty quantile = %v", q)
 	}
 }
+
+// TestHistFractionLE checks the CDF accessor the KV SLO curve is built
+// on: exact in the unit-slot range, monotone, and within slot error above.
+func TestHistFractionLE(t *testing.T) {
+	h := NewHist()
+	if h.FractionLE(100) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	var nilH *Hist
+	if nilH.FractionLE(1) != 0 {
+		t.Fatal("nil histogram must report 0")
+	}
+	// 10 samples at exact unit-slot values 0..9.
+	for v := uint64(0); v < 10; v++ {
+		h.Record(v)
+	}
+	for v := uint64(0); v < 10; v++ {
+		want := float64(v+1) / 10
+		if got := h.FractionLE(v); got != want {
+			t.Fatalf("FractionLE(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if got := h.FractionLE(1 << 40); got != 1 {
+		t.Fatalf("FractionLE(huge) = %v, want 1", got)
+	}
+	// Above the unit range the answer is slot-granular but monotone and
+	// bracketed: half the samples below 1000, half at 1e6.
+	h2 := NewHist()
+	for i := 0; i < 500; i++ {
+		h2.Record(uint64(i))
+		h2.Record(1_000_000)
+	}
+	if got := h2.FractionLE(10_000); got != 0.5 {
+		t.Fatalf("FractionLE(10k) = %v, want 0.5", got)
+	}
+	prev := -1.0
+	for _, v := range []uint64{1, 10, 100, 1000, 10_000, 100_000, 1_000_000, 10_000_000} {
+		f := h2.FractionLE(v)
+		if f < prev {
+			t.Fatalf("FractionLE not monotone at %d: %v < %v", v, f, prev)
+		}
+		prev = f
+	}
+	if h2.FractionLE(2_000_000) != 1 {
+		t.Fatal("all samples must be <= 2e6")
+	}
+}

@@ -225,8 +225,16 @@ func (t *Tracker) RecordPause(i int, startV, cost uint64) {
 // RecordPhase records one concurrent-phase execution over virtual
 // [startV, endV]. Concurrent phases do not stop mutators, so they feed
 // the duration distributions but not the MMU timeline.
+//
+// Zero-duration executions (endV == startV) are recorded: the virtual
+// clock only advances through mutator cycles and pause cost, so a phase
+// that ran between two clock readings with no interleaved mutator
+// progress — routine in single-mutator synchronous tests — legitimately
+// costs 0 virtual cycles, and its execution must still appear in the
+// distribution's count. Only an inverted interval (endV < startV, a
+// caller bug) is dropped.
 func (t *Tracker) RecordPhase(k PhaseKind, startV, endV uint64) {
-	if t == nil || k >= numPhases || endV <= startV {
+	if t == nil || k >= numPhases || endV < startV {
 		return
 	}
 	d := endV - startV

@@ -2,6 +2,7 @@ package latency
 
 import (
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
@@ -270,5 +271,34 @@ func TestAggregate(t *testing.T) {
 		if pt.MMU != want {
 			t.Errorf("window %d: aggregate MMU %v, want min(%v, %v)", i, pt.MMU, am, bm)
 		}
+	}
+}
+
+// TestRecordPhaseZeroDuration pins the zero-duration contract: a phase
+// execution over [v, v] — routine in single-mutator synchronous runs,
+// where the virtual clock cannot advance while the mutator is parked —
+// must land in the distribution's count (with a 0-cycle sample) and must
+// appear in the cycle record's per-phase accumulator. Inverted intervals
+// are caller bugs and stay dropped.
+func TestRecordPhaseZeroDuration(t *testing.T) {
+	tr := New(Config{DumpTo: io.Discard})
+	tr.RecordPhase(PhaseMark, 100, 100) // zero duration: recorded
+	tr.RecordPhase(PhaseMark, 100, 250) // normal
+	tr.RecordPhase(PhaseMark, 300, 200) // inverted: dropped
+
+	r := tr.Report()
+	d := r.Phases[PhaseMark.String()]
+	if d.Count != 2 {
+		t.Fatalf("mark phase count = %d, want 2 (zero-duration sample must count)", d.Count)
+	}
+	if d.Max != 150 {
+		t.Fatalf("mark phase max = %v, want 150", d.Max)
+	}
+
+	// The flight record's accumulator saw 0 + 150 cycles.
+	tr.OnCycle(CycleRecord{Seq: 1, VStart: 100, VEnd: 260})
+	recs := tr.Report().Flight
+	if len(recs) != 1 || recs[0].MarkCycles != 150 {
+		t.Fatalf("flight mark cycles = %+v, want one record with 150", recs)
 	}
 }

@@ -1,0 +1,239 @@
+package workloads
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"hcsgc"
+	"hcsgc/internal/kvstore"
+	"hcsgc/internal/loadgen"
+)
+
+// KVServer models a memcached-style serving system: kvThreads server
+// threads each own one shard of an in-heap key/value cache
+// (internal/kvstore) and execute a pregenerated open-loop request
+// schedule (internal/loadgen). Request latency is measured on the
+// virtual-cycle timeline from the scheduled arrival time to completion,
+// so GC pauses and allocation stalls land on whatever requests were in
+// flight — and, because arrivals are open-loop, on the requests that
+// queued up behind them (no coordinated omission).
+//
+// Sharding is slot mod kvThreads (generation-invariant, see loadgen), so
+// every key's operations execute on a single thread: the run's checksum
+// is deterministic for a seed even though threads interleave freely with
+// the collector.
+const (
+	kvThreads      = 4
+	kvDefaultScale = 1.0
+	kvBaseKeys     = 10_000
+	// kvBaseRequests makes each traffic phase long relative to one GC
+	// cycle (~10 pause-widths): with short phases the tail percentiles
+	// degenerate into a coin flip over whether a pause landed inside
+	// the phase at all.
+	kvBaseRequests = 300_000
+	// kvWorkPerReq is the request-handling compute (parse, respond)
+	// beyond the heap traffic itself, in cycles.
+	kvWorkPerReq = 120
+	// kvHeapBytes sizes the heap so the warm cache is roughly half of it:
+	// SET/fill churn crosses the 70% GC trigger every few million virtual
+	// cycles (~10 cycles per run at default scale), while leaving enough
+	// slack above the trigger that allocation stalls stay an occasional
+	// tail event instead of a permanent overload.
+	kvHeapBytes = 18 << 20
+)
+
+// KVServer is the serving-latency benchmark behind `hcsgc-bench -kv-report`.
+func KVServer() Workload {
+	return Workload{
+		Name: "KV server under open-loop load (SLO latency)",
+		Run: guard(func(cfg RunConfig) Result {
+			scale := cfg.scale(kvDefaultScale)
+			keys := int(float64(kvBaseKeys) * scale)
+			if keys < 64*kvThreads {
+				keys = 64 * kvThreads
+			}
+			reqs := int(float64(kvBaseRequests) * scale)
+			if reqs < 1_000 {
+				reqs = 1_000
+			}
+			sched := loadgen.Generate(loadgen.Config{
+				Seed:     cfg.Seed,
+				Keys:     keys,
+				Requests: reqs,
+			})
+
+			// Per-run metrics; merged into the caller's accumulator (the
+			// bench A/B aggregates across repeats) at the end.
+			mx := kvstore.NewMetrics()
+			if cfg.Telemetry != nil {
+				mx.BindTelemetry(cfg.Telemetry.Metrics())
+				// The /kv endpoint serves this run's live report (latest
+				// run wins, like the other per-runtime endpoints).
+				cfg.Telemetry.SetKV(func() any { return mx.Report(nil) })
+			}
+
+			e := newEnv(cfg, kvHeapBytes, 2)
+			defer e.cleanup()
+			types := kvstore.RegisterTypes(e.rt.Types)
+
+			lg := sched.Config
+			var (
+				wg     sync.WaitGroup
+				loaded sync.WaitGroup
+				serve  = make(chan struct{})
+				abort  atomic.Bool
+				oomMu  sync.Mutex
+				oomVal any
+				checks [kvThreads]uint64
+			)
+			loaded.Add(kvThreads)
+			for t := 0; t < kvThreads; t++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					// Each server thread owns its mutator for its whole
+					// lifetime: created here (so it polls safepoints from
+					// birth) and detached on every exit path, including
+					// the abandoned-run panic.
+					m := e.rt.NewMutator(kvstore.RootSlots)
+					defer m.Close()
+					loadedDone := false
+					markLoaded := func() {
+						if !loadedDone {
+							loadedDone = true
+							loaded.Done()
+						}
+					}
+					// OOM on a server thread aborts the whole run: flag
+					// the peers, remember the panic value, and let the
+					// main goroutine re-panic it into guard's recover.
+					defer func() {
+						r := recover()
+						if r == nil {
+							return
+						}
+						err, ok := r.(error)
+						if !ok || !errors.Is(err, hcsgc.ErrOutOfMemory) {
+							panic(r)
+						}
+						abort.Store(true)
+						oomMu.Lock()
+						if oomVal == nil {
+							oomVal = r
+						}
+						oomMu.Unlock()
+						markLoaded() // main must not wait on a dead loader
+					}()
+					st := kvstore.New(m, types, 2*keys/kvThreads)
+					// Preload this thread's shard at generation 0
+					// (Key == slot): the cache starts warm, as a serving
+					// system does after ramp-up. GC may run mid-preload;
+					// every Set polls safepoints at its allocation sites.
+					for s := tid; s < keys; s += kvThreads {
+						if abort.Load() {
+							markLoaded()
+							return
+						}
+						vw := lg.ValueWordsMin + s%(lg.ValueWordsMax-lg.ValueWordsMin+1)
+						st.Set(uint64(s), vw)
+					}
+					markLoaded()
+					// Wait for the measurement boundary as blocked (the
+					// collector must be free to pause the world while
+					// this thread idles between phases).
+					m.Blocked(func() { <-serve })
+					if abort.Load() {
+						return
+					}
+					// Arrivals are relative to the serving start on this
+					// thread's virtual clock (preload already advanced it).
+					base := m.VirtualCycles()
+					var check uint64
+					for i := range sched.Requests {
+						r := &sched.Requests[i]
+						if int(r.Key%uint64(keys))%kvThreads != tid {
+							continue
+						}
+						if r.Seq%64 == 0 {
+							if abort.Load() {
+								break
+							}
+							m.Safepoint()
+						}
+						at := base + r.At
+						// Open-loop pacing: idle (but let virtual time
+						// pass) until the scheduled arrival; never wait
+						// for the server to catch up.
+						if now := m.VirtualCycles(); now < at {
+							m.Work(at - now)
+						}
+						switch r.Op {
+						case loadgen.OpGet:
+							sum, hit := st.Get(r.Key)
+							mx.RecordLookup(hit)
+							if !hit {
+								// Read-through fill, object-cache style.
+								st.Set(r.Key, r.ValueWords)
+							}
+							check += sum
+						case loadgen.OpSet:
+							check += st.Set(r.Key, r.ValueWords)
+						case loadgen.OpDelete:
+							if st.Delete(r.Key) {
+								check++
+							}
+							if r.SessionRetire {
+								mx.RecordSessionRetired()
+							}
+						case loadgen.OpScan:
+							sum, _ := st.Scan(int(r.Key%uint64(keys)), r.ScanLen)
+							check += sum
+						}
+						m.Work(kvWorkPerReq)
+						mx.RecordRequest(r.Phase, r.Op, m.VirtualCycles()-at)
+						if tid == 0 && r.Seq%2048 == 0 {
+							e.sampleHeap()
+						}
+					}
+					checks[tid] = check
+				}(t)
+			}
+			// The main mutator waits as blocked: it is attached to the
+			// runtime but idle, and an idle unblocked mutator would stall
+			// every stop-the-world the server threads trigger.
+			e.m.Blocked(func() { loaded.Wait() })
+			e.sampleHeap()
+			e.markMeasured()
+			close(serve)
+			e.m.Blocked(func() { wg.Wait() })
+			if oomVal != nil {
+				panic(oomVal)
+			}
+			e.sampleHeap()
+
+			rep := mx.Report(nil)
+			var check uint64
+			for _, c := range checks {
+				check += c
+			}
+			if cfg.KV != nil {
+				cfg.KV.Merge(mx)
+			}
+			res := e.finish(check)
+			steady := rep.Phases[loadgen.PhaseSteady].Dist
+			burst := rep.Phases[loadgen.PhaseBurst].Dist
+			hitRate := 0.0
+			if rep.Hits+rep.Misses > 0 {
+				hitRate = float64(rep.Hits) / float64(rep.Hits+rep.Misses)
+			}
+			res.Scores = map[string]float64{
+				"kv-p99-steady":  steady.P99,
+				"kv-p999-steady": steady.P999,
+				"kv-p999-burst":  burst.P999,
+				"kv-hit-rate":    hitRate,
+			}
+			return res
+		}),
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hcsgc"
+	"hcsgc/internal/kvstore"
 	"hcsgc/internal/machine"
 	"hcsgc/internal/simmem"
 )
@@ -63,6 +64,10 @@ type RunConfig struct {
 	// (nil = detached). The caller keeps the handle and inspects the
 	// violations after the run.
 	Verifier *hcsgc.HeapVerifier
+	// KV is the serving-metrics accumulator for the KV server workload
+	// (nil = per-run metrics are discarded after Scores are derived).
+	// Shared across runs, it merges their request distributions.
+	KV *kvstore.Metrics
 	// StallRetries / StallBackoff / StallDeadline bound the
 	// allocation-stall loop (see hcsgc.Options).
 	StallRetries  int
@@ -243,6 +248,7 @@ func All() map[string]Workload {
 		"fig11": Tradebeans(),
 		"fig12": H2(),
 		"fig13": SPECjbb(),
+		"kv":    KVServer(),
 	}
 }
 

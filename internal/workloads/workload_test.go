@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hcsgc"
+	"hcsgc/internal/kvstore"
 )
 
 // tinyCfg returns a fast functional-test configuration.
@@ -30,7 +31,7 @@ func mustRun(t *testing.T, w Workload, cfg RunConfig) Result {
 
 func TestAllWorkloadsRegistered(t *testing.T) {
 	all := All()
-	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "kv"} {
 		w, ok := all[id]
 		if !ok {
 			t.Errorf("missing workload %s", id)
@@ -103,6 +104,49 @@ func TestSPECjbbScores(t *testing.T) {
 	}
 	if len(res.HeapSamples) == 0 {
 		t.Fatal("heap samples missing")
+	}
+}
+
+func TestKVServerChecksumAcrossConfigs(t *testing.T) { runBoth(t, "kv") }
+
+func TestKVServerMetricsAndScores(t *testing.T) {
+	w, _ := Get("kv")
+	mx := kvstore.NewMetrics()
+	cfg := tinyCfg(hcsgc.Knobs{}, 42)
+	cfg.KV = mx
+	res := mustRun(t, w, cfg)
+
+	for _, key := range []string{"kv-p99-steady", "kv-p999-steady", "kv-p999-burst", "kv-hit-rate"} {
+		if _, ok := res.Scores[key]; !ok {
+			t.Errorf("Scores missing %q", key)
+		}
+	}
+	if res.Scores["kv-p99-steady"] <= 0 {
+		t.Fatalf("kv-p99-steady = %v, want > 0", res.Scores["kv-p99-steady"])
+	}
+	if hr := res.Scores["kv-hit-rate"]; hr <= 0 || hr > 1 {
+		t.Fatalf("kv-hit-rate = %v out of (0,1]", hr)
+	}
+	if len(res.HeapSamples) == 0 {
+		t.Fatal("heap samples missing")
+	}
+
+	rep := mx.Report(nil)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("accumulated report invalid: %v", err)
+	}
+	var total uint64
+	for _, p := range rep.Phases {
+		if p.Dist.Count == 0 {
+			t.Errorf("phase %q recorded no requests", p.Phase)
+		}
+		total += p.Dist.Count
+	}
+	if got := rep.Ops["get"] + rep.Ops["set"] + rep.Ops["delete"] + rep.Ops["scan"]; got != total {
+		t.Fatalf("op counts sum to %d, phase counts to %d", got, total)
+	}
+	if rep.SessionsRetired == 0 {
+		t.Fatal("session churn produced no retirements")
 	}
 }
 
