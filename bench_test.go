@@ -214,6 +214,43 @@ func BenchmarkLatencyOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkSignalsOverhead measures the cost of the unified signal plane
+// on a representative workload run: "off" disables the plane — the cycle
+// hook reduces to one predictable nil check and mutators skip the
+// allocation-byte ledger — while "always-on" is the production default,
+// snapshotting every cycle's CycleSignals record (flight record, heap and
+// locality signals, EWMA/trend derivations, anomaly flags) into the
+// bounded ring. The acceptance bar is "always-on" within noise of "off":
+// the per-allocation cost is one atomic add, and everything else runs
+// once per GC cycle.
+func BenchmarkSignalsOverhead(b *testing.B) {
+	w, err := workloads.Get("fig4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	knobs := bench.KnobsFor(4)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"off", true},
+		{"always-on", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(workloads.RunConfig{
+					Knobs:          knobs,
+					Seed:           int64(i + 1),
+					Scale:          benchScale,
+					DisableSignals: mode.disable,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1PageAlloc measures the page allocator underlying the
 // Table 1 size classes.
 func BenchmarkTable1PageAlloc(b *testing.B) {

@@ -48,6 +48,13 @@ func main() {
 		kvMode = flag.Bool("kv-report", false, "run the KV serving A/B report instead: open-loop load, per-phase request-latency percentiles and SLO curves (-configs picks base,test; default 3,4)")
 		kvJSON = flag.String("kv-json", "", "also write the KV serving A/B report as JSON to this file")
 
+		tailMode = flag.Bool("tail-report", false, "run the KV tail-attribution A/B report instead: every SLO-violating request classified by cause (stw-pause/alloc-stall/queued-behind-stall/service) and linked to the responsible GC cycle (-configs picks base,test; default 3,4)")
+		tailJSON = flag.String("tail-json", "", "also write the tail-attribution A/B report as JSON to this file")
+		tailSLO  = flag.Uint64("tail-slo", 0, "SLO threshold in virtual cycles for -tail-report (0 = default 1000000)")
+
+		benchOut     = flag.String("bench-out", "", "write the normalized benchmark artifact (BENCH_<exp>.json shape) to this file; supported by -kv-report")
+		benchCompare = flag.String("bench-compare", "", "compare the run against this committed baseline artifact; >10% regressions print warnings without failing")
+
 		chaosMode = flag.Bool("chaos", false, "run a chaos soak instead: seeded fault schedules with the STW heap verifier on")
 		chaosSeed = flag.Int64("chaos-seed", 1, "base seed; run r uses seed chaos-seed+r (replay a failure with its printed seed and -chaos-runs 1)")
 		chaosRuns = flag.Int("chaos-runs", 0, "soak runs (0 = 20)")
@@ -99,8 +106,15 @@ func main() {
 		return
 	}
 	if *kvMode {
-		if err := runKV(*runs, *scale, *seed, *configs, *kvJSON, *quiet, sink); err != nil {
+		if err := runKV(*runs, *scale, *seed, *configs, *kvJSON, *benchOut, *benchCompare, *quiet, sink); err != nil {
 			fmt.Fprintf(os.Stderr, "hcsgc-bench: kv: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tailMode {
+		if err := runTail(*runs, *scale, *seed, *configs, *tailSLO, *tailJSON, *quiet, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: tail: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -167,6 +181,7 @@ func writeList(w io.Writer) {
 		{"-locality", "locality A/B: reuse distance, stream coverage, page entropy"},
 		{"-latency-report", "latency A/B: pause/phase HDR percentiles, MMU ladder, barrier profile"},
 		{"-kv-report", "KV serving A/B: open-loop request latency percentiles and SLO curves per traffic phase"},
+		{"-tail-report", "KV tail-attribution A/B: p99 violations by cause, linked to responsible GC cycles"},
 		{"-chaos", "chaos soak: seeded fault schedules with the STW heap verifier"},
 	} {
 		fmt.Fprintf(w, "  %-16s %s\n", m.flag, m.desc)
@@ -326,7 +341,7 @@ func runLatency(exp string, runs int, scale float64, seed int64, configs string,
 // accumulator, printing the per-phase percentile and SLO-curve report and
 // optionally writing the JSON artifact. With -telemetry-addr, in-flight
 // runs export hcsgc_kv_* metrics and serve the merged report on /kv.
-func runKV(runs int, scale float64, seed int64, configs string, jsonPath string, quiet bool, sink *hcsgc.TelemetrySink) error {
+func runKV(runs int, scale float64, seed int64, configs string, jsonPath, benchOut, benchCompare string, quiet bool, sink *hcsgc.TelemetrySink) error {
 	base, test := 3, 4 // RelocateAllSmallPages vs +LazyRelocate
 	if configs != "" {
 		ids, err := parseConfigs(configs)
@@ -360,6 +375,75 @@ func runKV(runs int, scale float64, seed int64, configs string, jsonPath string,
 		}
 		defer f.Close()
 		if err := bench.WriteKVJSON(f, ab); err != nil {
+			return err
+		}
+	}
+	if benchOut != "" || benchCompare != "" {
+		art := bench.KVArtifact(ab)
+		if benchOut != "" {
+			f, err := os.Create(benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteArtifact(f, art); err != nil {
+				return err
+			}
+		}
+		if benchCompare != "" {
+			baseline, err := bench.ReadArtifactFile(benchCompare)
+			if err != nil {
+				return err
+			}
+			warns := bench.CompareArtifacts(baseline, art, 0.10)
+			for _, w := range warns {
+				fmt.Fprintf(os.Stderr, "hcsgc-bench: baseline warning: %s\n", w)
+			}
+			if len(warns) == 0 {
+				fmt.Fprintf(os.Stderr, "hcsgc-bench: all metrics within 10%% of baseline %s\n", benchCompare)
+			}
+		}
+	}
+	return nil
+}
+
+// runTail runs the -tail-report mode: the KV serving A/B with request-
+// level tail attribution armed, printing the per-config "p99 violations
+// by cause" breakdown and optionally writing the JSON artifact CI uploads.
+func runTail(runs int, scale float64, seed int64, configs string, slo uint64, jsonPath string, quiet bool, sink *hcsgc.TelemetrySink) error {
+	base, test := 3, 4 // RelocateAllSmallPages vs +LazyRelocate
+	if configs != "" {
+		ids, err := parseConfigs(configs)
+		if err != nil {
+			return err
+		}
+		if len(ids) != 2 {
+			return fmt.Errorf("-tail-report needs exactly two config ids (base,test), got %d", len(ids))
+		}
+		base, test = ids[0], ids[1]
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	progress := bench.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	ab, err := bench.RunTailAB(runs, scale, seed, base, test, slo, sink, progress)
+	if err != nil {
+		return err
+	}
+	if err := bench.ValidateTailAB(ab); err != nil {
+		return err
+	}
+	bench.WriteTailReport(os.Stdout, ab)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteTailJSON(f, ab); err != nil {
 			return err
 		}
 	}

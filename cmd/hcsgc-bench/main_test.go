@@ -121,7 +121,7 @@ func TestWriteList(t *testing.T) {
 			t.Errorf("-list output missing described entry for %q:\n%s", id, out)
 		}
 	}
-	for _, mode := range []string{"-locality", "-latency-report", "-kv-report", "-chaos", "ablate:"} {
+	for _, mode := range []string{"-locality", "-latency-report", "-kv-report", "-tail-report", "-chaos", "ablate:"} {
 		if !strings.Contains(out, mode) {
 			t.Errorf("-list output missing %q", mode)
 		}
@@ -133,9 +133,23 @@ func TestWriteList(t *testing.T) {
 // hcsgc_kv_* families land in the exposition.
 func TestRunKVTiny(t *testing.T) {
 	sink := hcsgc.NewTelemetrySink()
-	jsonPath := t.TempDir() + "/kv-report.json"
-	if err := runKV(1, 0.01, 1, "3,4", jsonPath, true, sink); err != nil {
+	dir := t.TempDir()
+	jsonPath := dir + "/kv-report.json"
+	benchOut := dir + "/BENCH_kv.json"
+	if err := runKV(1, 0.01, 1, "3,4", jsonPath, benchOut, "", true, sink); err != nil {
 		t.Fatal(err)
+	}
+	// The normalized artifact round-trips and compares clean against
+	// itself (the CI baseline-guard path).
+	art, err := bench.ReadArtifactFile(benchOut)
+	if err != nil {
+		t.Fatalf("bench artifact: %v", err)
+	}
+	if art.Experiment != "kv" || len(art.Metrics) == 0 {
+		t.Fatalf("bench artifact malformed: %+v", art)
+	}
+	if warns := bench.CompareArtifacts(art, art, 0.10); len(warns) != 0 {
+		t.Fatalf("self-comparison produced warnings: %v", warns)
 	}
 	data, err := os.ReadFile(jsonPath)
 	if err != nil {
@@ -165,7 +179,10 @@ func TestRunKVTiny(t *testing.T) {
 
 // TestRunKVBadConfigs rejects a malformed -configs pair.
 func TestRunKVBadConfigs(t *testing.T) {
-	if err := runKV(1, 0.01, 1, "3,4,16", "", true, nil); err == nil {
+	if err := runKV(1, 0.01, 1, "3,4,16", "", "", "", true, nil); err == nil {
 		t.Fatal("three config ids must error")
+	}
+	if err := runTail(1, 0.01, 1, "3,4,16", 0, "", true, nil); err == nil {
+		t.Fatal("three config ids must error for -tail-report too")
 	}
 }

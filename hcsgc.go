@@ -34,6 +34,7 @@ import (
 	"hcsgc/internal/locality"
 	"hcsgc/internal/machine"
 	"hcsgc/internal/objmodel"
+	"hcsgc/internal/signals"
 	"hcsgc/internal/simmem"
 	"hcsgc/internal/telemetry"
 	"hcsgc/internal/telemetry/latency"
@@ -101,6 +102,30 @@ type (
 	FlightRecord = latency.CycleRecord
 	// MMUReport is the minimum-mutator-utilization curve snapshot.
 	MMUReport = latency.MMUReport
+	// SignalPlane is the unified per-cycle GC signal plane: one immutable
+	// CycleSignals record per cycle boundary with EWMA/trend derivations
+	// and anomaly flags (see internal/signals). On by default;
+	// Options.DisableSignals turns it off. This record is the sensor bus
+	// the ROADMAP item 4 online controller consumes.
+	SignalPlane = signals.Plane
+	// SignalsConfig tunes the signal plane.
+	SignalsConfig = signals.Config
+	// CycleSignals is one GC cycle's unified signal record.
+	CycleSignals = signals.CycleSignals
+	// SignalsSnapshot is the /signals endpoint payload.
+	SignalsSnapshot = signals.Snapshot
+	// TailAttributor classifies SLO-violating requests by cause
+	// (stw-pause / alloc-stall / queued-behind-stall / service) and links
+	// them to the responsible cycle's CycleSignals record.
+	TailAttributor = signals.TailAttributor
+	// TailConfig tunes a TailAttributor.
+	TailConfig = signals.TailConfig
+	// TailReport is a TailAttributor snapshot (the /tailattr payload).
+	TailReport = signals.TailReport
+	// TailClassifier is one serving thread's classification front-end.
+	TailClassifier = signals.Classifier
+	// TailObs is one completed request's raw attribution observation.
+	TailObs = signals.Obs
 )
 
 // Sentinel errors for errors.Is against allocation failures.
@@ -140,6 +165,16 @@ func NewLocalityProfiler(cfg LocalityConfig) *LocalityProfiler { return locality
 // configuration. Pass it via Options.Latency; a runtime without one (and
 // without DisableLatency) creates a default tracker itself.
 func NewLatencyTracker(cfg LatencyConfig) *LatencyTracker { return latency.New(cfg) }
+
+// NewSignalPlane builds a signal plane with a non-default configuration.
+// Pass it via Options.Signals; a runtime without one (and without
+// DisableSignals) creates a default plane itself.
+func NewSignalPlane(cfg SignalsConfig) *SignalPlane { return signals.New(cfg) }
+
+// NewTailAttributor builds a request-level tail attributor. Serving
+// harnesses create per-thread classifiers from it via
+// TailAttributor.Classifier(rt.Signals).
+func NewTailAttributor(cfg TailConfig) *TailAttributor { return signals.NewTailAttributor(cfg) }
 
 // NullRef is the null reference.
 const NullRef = heap.NullRef
@@ -194,6 +229,13 @@ type Options struct {
 	// DisableLatency turns the latency-attribution plane off entirely
 	// (each instrumentation site then costs one predictable branch).
 	DisableLatency bool
+	// Signals overrides the unified signal plane. Nil = the runtime
+	// builds one with default configuration; the plane is always-on
+	// unless DisableSignals is set.
+	Signals *SignalPlane
+	// DisableSignals turns the signal plane off entirely (the cycle
+	// boundary and each allocation then cost one predictable branch).
+	DisableSignals bool
 	// FaultInjector arms the fault-injection plane (nil = disarmed; each
 	// injection point then costs one predictable branch).
 	FaultInjector *FaultInjector
@@ -208,6 +250,11 @@ type Options struct {
 	StallBackoff time.Duration
 	// StallDeadline bounds the stall loop by wall clock; 0 = no deadline.
 	StallDeadline time.Duration
+	// STWWatchdog is the wall-clock deadline for mutators to reach a
+	// stop-the-world safepoint before the collector emits a diagnostic
+	// flight-recorder dump naming the stragglers. 0 = 30s; negative
+	// disables the watchdog.
+	STWWatchdog time.Duration
 }
 
 // Runtime bundles the full system.
@@ -219,6 +266,8 @@ type Runtime struct {
 	Machine   Machine
 	// Latency is the runtime's latency tracker; nil when DisableLatency.
 	Latency *LatencyTracker
+	// Signals is the runtime's signal plane; nil when DisableSignals.
+	Signals *SignalPlane
 
 	mu       sync.Mutex
 	mutators []*Mutator
@@ -258,6 +307,13 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	if opts.DisableLatency {
 		lat = nil
 	}
+	sig := opts.Signals
+	if sig == nil && !opts.DisableSignals {
+		sig = signals.New(signals.Config{})
+	}
+	if opts.DisableSignals {
+		sig = nil
+	}
 	types := objmodel.NewRegistry()
 	col, err := core.New(h, types, core.Config{
 		Knobs:          opts.Knobs,
@@ -268,10 +324,12 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		Telemetry:      opts.Telemetry,
 		Locality:       opts.Locality,
 		Latency:        lat,
+		Signals:        sig,
 		FaultInjector:  opts.FaultInjector,
 		StallRetries:   opts.StallRetries,
 		StallBackoff:   opts.StallBackoff,
 		StallDeadline:  opts.StallDeadline,
+		STWWatchdog:    opts.STWWatchdog,
 	})
 	if err != nil {
 		return nil, err
@@ -289,6 +347,12 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		opts.Telemetry.SetFlightRecorder(func(w io.Writer) error {
 			return tracker.WriteFlight(w, "on-demand")
 		})
+		opts.Telemetry.SetFlightRearm(tracker.Rearm)
+	}
+	if sig != nil && opts.Telemetry != nil {
+		sig.BindTelemetry(opts.Telemetry.Metrics(), opts.Telemetry.Recorder())
+		plane := sig
+		opts.Telemetry.SetSignals(func() any { return plane.Snapshot() })
 	}
 	mach := opts.Machine
 	if mach.Cores == 0 {
@@ -301,6 +365,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		Types:     types,
 		Machine:   mach,
 		Latency:   lat,
+		Signals:   sig,
 	}
 	if opts.StartDriver {
 		col.StartDriver()

@@ -57,4 +57,33 @@ func register(reg *telemetry.Registry, suffix string) {
 	reg.Counter("hcsgc_kv_lookups_total", "Lookups.", "result", "hit") // want `registered with different help text`
 	reg.Gauge("hcsgc_kv_request_cycles", "KV request latency.")        // want `registered as Gauge here but as Summary`
 	reg.Summary("hcsgc_kv_hits_total", "Not a counter.", nil)          // want `_total suffix promises a monotonic counter`
+
+	// The signal-plane families (internal/signals.Plane.BindTelemetry):
+	// one gauge family per derived series keyed by the signal label, and
+	// labelled counters for the anomaly flags — legal multi-site
+	// registration with shared help across label values.
+	reg.Gauge("hcsgc_signal_value", "Latest per-cycle signal value.", "signal", "utilization")
+	reg.Gauge("hcsgc_signal_value", "Latest per-cycle signal value.", "signal", "heap_used_pct")
+	reg.Gauge("hcsgc_signal_ewma", "Signal EWMA.", "signal", "utilization")
+	reg.Gauge("hcsgc_signal_trend", "Signal trend.", "signal", "utilization")
+	reg.Counter("hcsgc_signal_flags_total", "Anomaly flags raised.", "flag", "stall_spike")
+	reg.Counter("hcsgc_signal_flags_total", "Anomaly flags raised.", "flag", "heap_pressure")
+	reg.Counter("hcsgc_signal_cycles_total", "Cycles snapshotted.")
+	reg.Counter("hcsgc_signal_value", "Latest per-cycle signal value.", "signal", "cold_frac") // want `registered as Counter here but as Gauge`
+	reg.Gauge("hcsgc_signal_flags_total", "Flags.")                                            // want `registered as Gauge here but as Counter`
+	reg.Gauge("hcsgc_signal_count", "Reserved.")                                               // want `reserved suffix "_count"`
+	reg.Counter("hcsgc_signal_sum", "Reserved.")                                               // want `reserved suffix "_sum"`
+
+	// The tail-attribution families (internal/signals.TailAttributor):
+	// violation counters and per-cause latency summaries keyed by cause.
+	reg.Counter("hcsgc_tail_requests_total", "Requests observed.")
+	reg.Counter("hcsgc_tail_attributed_total", "Violations attributed.")
+	reg.Counter("hcsgc_tail_violations_total", "SLO violations by cause.", "cause", "alloc-stall")
+	reg.Counter("hcsgc_tail_violations_total", "SLO violations by cause.", "cause", "stw-pause")
+	reg.Summary("hcsgc_tail_cause_cycles", "Violation latency by cause.", nil, "cause", "alloc-stall")
+	reg.Summary("hcsgc_tail_cause_cycles", "Violation latency by cause.", nil, "cause", "service")
+	reg.Counter("hcsgc_tail_violations_total", "Violations.", "cause", "service") // want `registered with different help text`
+	reg.Counter("hcsgc_tail_cause_cycles", "Latency.", "cause", "service")        // want `registered as Counter here but as Summary`
+	reg.Gauge("hcsgc_tail_exemplars_total", "Not a counter.")                     // want `_total suffix promises a monotonic counter`
+	reg.Summary("hcsgc_tail_cause_bucket", "Reserved.", nil)                      // want `reserved suffix "_bucket"`
 }

@@ -10,6 +10,7 @@ import (
 	"hcsgc/internal/faultinject"
 	"hcsgc/internal/heap"
 	"hcsgc/internal/objmodel"
+	"hcsgc/internal/signals"
 	"hcsgc/internal/simmem"
 	"hcsgc/internal/telemetry"
 	"hcsgc/internal/telemetry/latency"
@@ -57,6 +58,9 @@ type Collector struct {
 
 	mutMu sync.Mutex
 	muts  map[*Mutator]struct{}
+	// allocBytesClosed folds closed mutators' allocation ledgers so the
+	// signal plane's alloc-rate delta survives mutator churn. Under mutMu.
+	allocBytesClosed uint64
 
 	// Shared medium-page allocation (mutators and relocation).
 	medMu   sync.Mutex
@@ -79,6 +83,13 @@ type Collector struct {
 	stats statsLog
 	tm    colTelemetry
 	lat   *latency.Tracker
+	sig   *signals.Plane
+	// Signal-plane per-cycle delta watermarks (touched under cycleMu).
+	lastAllocBytes   uint64
+	lastRelocObjects uint64
+	lastRelocBytes   uint64
+	// watchdogFired counts STW watchdog reports (the pause kept waiting).
+	watchdogFired atomic.Uint64
 	// vclock is the virtual-timeline high-water mark in simulated cycles:
 	// the max attached-mutator ledger plus accumulated pause cost. Only
 	// maintained when lat is attached.
@@ -114,6 +125,7 @@ func New(h *heap.Heap, types *objmodel.Registry, cfg Config) (*Collector, error)
 	}
 	c.tm = newColTelemetry(cfg.Telemetry)
 	c.lat = cfg.Latency
+	c.sig = cfg.Signals
 	c.inj = cfg.FaultInjector
 	c.good.Store(uint64(heap.ColorRemapped))
 	c.phase.Store(uint32(PhaseRelocate))
@@ -180,10 +192,11 @@ func (c *Collector) collectIfDue(prev uint64, reason string) {
 // ZGC order:   STW1, M/R, STW2, EC, STW3, RE
 // HCSGC lazy:  RE (leftover from previous cycle), STW1, M/R, STW2, EC, STW3
 func (c *Collector) runCycle(reason string) {
-	cs := &CycleStats{Seq: c.cycles.Load() + 1, Trigger: reason, HeapUsedBefore: c.heap.UsedPercent()}
+	cs := &CycleStats{Seq: c.cycles.Load() + 1, Trigger: reason,
+		HeapUsedBefore: c.heap.UsedPercent(), HotmapDensity: -1}
 	c.tm.rec.BeginSpan(telemetry.SpanCycle, collectorTID)
 	var vCycleStart uint64
-	if c.lat != nil {
+	if c.lat != nil || c.sig != nil {
 		vCycleStart = c.virtualNow()
 	}
 
@@ -334,8 +347,11 @@ func (c *Collector) runCycle(reason string) {
 	c.cycles.Add(1)
 	c.stats.append(cs)
 	c.recordCycleEnd(cs)
-	c.recordLatencyCycle(cs, vCycleStart)
+	flight := c.recordLatencyCycle(cs, vCycleStart)
 	c.cfg.Locality.OnCycle(cs.Seq, cs.SegregationPurity)
+	// The signal plane snapshots after Locality.OnCycle so the profiler's
+	// freshly drained per-cycle interval is what the record carries.
+	c.recordSignals(cs, flight)
 	c.tm.rec.EndSpan(telemetry.SpanCycle, collectorTID)
 	if c.cfg.Knobs.AutoTune {
 		c.autoTune()

@@ -16,6 +16,7 @@ import (
 
 	"hcsgc/internal/faultinject"
 	"hcsgc/internal/locality"
+	"hcsgc/internal/signals"
 	"hcsgc/internal/telemetry"
 	"hcsgc/internal/telemetry/latency"
 )
@@ -149,6 +150,12 @@ type Config struct {
 	// recorder). Nil disables it: each instrumentation site reduces to
 	// one predictable branch.
 	Latency *latency.Tracker
+	// Signals is the optional unified per-cycle signal plane: at every
+	// cycle boundary the collector snapshots the locality, latency and
+	// heap signals into one immutable CycleSignals record. Nil disables
+	// it (one predictable branch at the cycle boundary plus one per
+	// allocation for the alloc-rate ledger).
+	Signals *signals.Plane
 	// FaultInjector arms the fault-injection plane at the collector's
 	// injection points (relocation race, barrier slow path, safepoint
 	// entry, page retire, driver trigger). Nil — the default — costs one
@@ -167,6 +174,13 @@ type Config struct {
 	// StallDeadline, when non-zero, caps the wall-clock time one
 	// allocation may spend stalling regardless of retries left.
 	StallDeadline time.Duration
+	// STWWatchdog is the wall-clock deadline for every mutator to reach
+	// the safepoint once a stop-the-world begins; past it the collector
+	// emits a flight-recorder dump naming the mutators still running.
+	// Wall-clock deliberately: a mutator that never polls freezes the
+	// virtual timeline, so a virtual-cycle deadline could never fire.
+	// Zero means 30s; negative disables the watchdog.
+	STWWatchdog time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +198,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StallRetries <= 0 {
 		c.StallRetries = 16
+	}
+	if c.STWWatchdog == 0 {
+		c.STWWatchdog = 30 * time.Second
 	}
 	return c
 }

@@ -18,10 +18,11 @@ import (
 // through both regimes; the CAS-max keeps it monotone across concurrent
 // readers.
 
-// virtualNow returns the current virtual time. Zero when no tracker is
-// attached (callers guard on c.lat themselves to skip the mutator walk).
+// virtualNow returns the current virtual time. Zero when neither a
+// latency tracker nor a signal plane is attached (callers guard
+// themselves to skip the mutator walk).
 func (c *Collector) virtualNow() uint64 {
-	if c.lat == nil {
+	if c.lat == nil && c.sig == nil {
 		return 0
 	}
 	return c.VirtualCycles()
@@ -53,9 +54,17 @@ func (c *Collector) VirtualCycles() uint64 {
 }
 
 // PauseCycles returns the accumulated STW pause cost on the virtual
-// timeline (only maintained while a latency tracker is attached).
+// timeline (only maintained while a latency tracker or signal plane is
+// attached).
 func (c *Collector) PauseCycles() uint64 {
 	return c.pauseTotal.Load()
+}
+
+// StallCount returns the runtime-wide allocation-stall count. Serving
+// harnesses delta it across a request window to detect concurrent stalls
+// (the queued-behind-stall attribution signal).
+func (c *Collector) StallCount() uint64 {
+	return c.stallCount.Load()
 }
 
 // pauseStartClock samples the virtual clock at a pause start (world
@@ -63,7 +72,7 @@ func (c *Collector) PauseCycles() uint64 {
 //
 //hcsgc:stw-only
 func (c *Collector) pauseStartClock() uint64 {
-	if c.lat == nil {
+	if c.lat == nil && c.sig == nil {
 		return 0
 	}
 	return c.virtualNow()
@@ -74,7 +83,7 @@ func (c *Collector) pauseStartClock() uint64 {
 //
 //hcsgc:stw-only
 func (c *Collector) recordPauseLatency(i int, startV, cost uint64) {
-	if c.lat == nil {
+	if c.lat == nil && c.sig == nil {
 		return
 	}
 	c.pauseTotal.Add(cost)
@@ -95,10 +104,13 @@ func (c *Collector) mutatorStallWeight() float64 {
 
 // recordLatencyCycle completes the cycle's flight record and hands it to
 // the tracker, then auto-dumps if the heap verifier found new violations
-// during this cycle. Runs under cycleMu.
-func (c *Collector) recordLatencyCycle(cs *CycleStats, vStart uint64) {
-	if c.lat == nil {
-		return
+// during this cycle. Runs under cycleMu. The completed record (with the
+// tracker's phase/barrier/MMU fields filled in) is returned for the
+// signal plane; it is also built when only a signal plane is attached, so
+// the CycleSignals record carries the pause and stall fields either way.
+func (c *Collector) recordLatencyCycle(cs *CycleStats, vStart uint64) latency.CycleRecord {
+	if c.lat == nil && c.sig == nil {
+		return latency.CycleRecord{}
 	}
 	stalls := c.stallCount.Load()
 	runs, violations := c.heap.Verifier().Counts()
@@ -123,10 +135,11 @@ func (c *Collector) recordLatencyCycle(cs *CycleStats, vStart uint64) {
 		VerifyViolations:  violations,
 	}
 	c.lastStalls = stalls
-	c.lat.OnCycle(rec)
+	rec = c.lat.OnCycle(rec)
 	if delta := violations - c.lastVerifyTotal; delta > 0 {
 		c.lat.AutoDump(fmt.Sprintf(
 			"heap verifier reported %d new violation(s) during cycle %d", delta, cs.Seq))
 	}
 	c.lastVerifyTotal = violations
+	return rec
 }

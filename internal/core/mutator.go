@@ -59,6 +59,16 @@ type Mutator struct {
 	// clock. Only maintained while a latency tracker is attached.
 	stallVirtual atomic.Uint64
 
+	// allocBytes is this mutator's cumulative allocation volume; only
+	// maintained while a signal plane is attached (it feeds the per-cycle
+	// alloc-rate signal), so the nil-plane cost stays one predictable
+	// branch per allocation.
+	allocBytes atomic.Uint64
+
+	// tok is this mutator's identity in the safepoint protocol; the STW
+	// watchdog names it when the mutator overruns a pause deadline.
+	tok *spToken
+
 	// Stalls counts allocation stalls.
 	Stalls uint64
 
@@ -73,7 +83,7 @@ func (c *Collector) NewMutator(rootSlots int) *Mutator {
 	}
 	m.probe = c.cfg.Locality.NewProbe()
 	m.ctx = &relocCtx{c: c, core: m.core, byMutator: true, mutator: m}
-	c.sp.register()
+	m.tok = c.sp.register("")
 	c.mutMu.Lock()
 	c.muts[m] = struct{}{}
 	c.mutMu.Unlock()
@@ -89,8 +99,25 @@ func (m *Mutator) Close() {
 	m.flushMarkBuf()
 	m.c.mutMu.Lock()
 	delete(m.c.muts, m)
+	m.c.allocBytesClosed += m.allocBytes.Load()
 	m.c.mutMu.Unlock()
-	m.c.sp.unregister()
+	m.c.sp.unregister(m.tok)
+}
+
+// SetName labels this mutator in STW watchdog reports (default
+// "mutator-N" in attach order). Serving threads name themselves so a
+// stuck-safepoint report is actionable.
+func (m *Mutator) SetName(name string) {
+	m.c.sp.setName(m.tok, name)
+}
+
+// StallVirtualCycles returns the cumulative virtual-cycle duration of
+// this mutator's allocation stalls, net of STW pause cost (only
+// maintained while a latency tracker is attached). Serving harnesses
+// delta it across a request to attribute the request's own stall
+// exposure.
+func (m *Mutator) StallVirtualCycles() uint64 {
+	return m.stallVirtual.Load()
 }
 
 // Safepoint is the GC poll; call it at loop back-edges. Allocation
@@ -100,7 +127,7 @@ func (m *Mutator) Safepoint() {
 	if len(m.markBuf) > 0 && m.c.CurrentPhase() == PhaseMark {
 		m.flushMarkBuf()
 	}
-	m.c.sp.poll()
+	m.c.sp.poll(m.tok)
 }
 
 func (m *Mutator) flushMarkBuf() {
@@ -116,9 +143,9 @@ func (m *Mutator) flushMarkBuf() {
 // other safepoint.
 func (m *Mutator) RequestGC() {
 	m.flushMarkBuf()
-	m.c.sp.beginBlocked()
+	m.c.sp.beginBlocked(m.tok)
 	m.c.Collect("requested")
-	m.c.sp.endBlocked()
+	m.c.sp.endBlocked(m.tok)
 }
 
 // Blocked runs fn with the mutator counted as stopped for the safepoint
@@ -133,9 +160,9 @@ func (m *Mutator) RequestGC() {
 // neither polls nor blocks deadlocks the next stop-the-world.
 func (m *Mutator) Blocked(fn func()) {
 	m.flushMarkBuf()
-	m.c.sp.beginBlocked()
+	m.c.sp.beginBlocked(m.tok)
 	fn()
-	m.c.sp.endBlocked()
+	m.c.sp.endBlocked(m.tok)
 }
 
 // Work charges n cycles of application compute to this mutator's ledger.
@@ -244,6 +271,9 @@ func (m *Mutator) allocWords(sizeWords int, typeID uint16) (heap.Ref, error) {
 	}
 	m.c.heap.StoreWord(m.core, addr, objmodel.EncodeHeader(sizeWords, typeID))
 	m.extra.Add(m.c.cfg.Costs.Alloc)
+	if m.c.sig != nil {
+		m.allocBytes.Add(size)
+	}
 	return heap.MakeRef(addr, m.c.Good()), nil
 }
 
@@ -310,12 +340,12 @@ func (m *Mutator) allocStall(size uint64, alloc func() (uint64, error)) (uint64,
 			stallStart = m.c.virtualNow()
 			pauseBefore = m.c.pauseTotal.Load()
 		}
-		m.c.sp.beginBlocked()
+		m.c.sp.beginBlocked(m.tok)
 		if backoff := m.c.cfg.StallBackoff; backoff > 0 && attempt > 1 {
 			time.Sleep(time.Duration(attempt-1) * backoff)
 		}
 		m.c.collectIfDue(prev, "allocation stall")
-		m.c.sp.endBlocked()
+		m.c.sp.endBlocked(m.tok)
 		if m.c.lat != nil {
 			stallEnd := m.c.virtualNow()
 			// Charge the stall's elapsed virtual time to this mutator's

@@ -9,11 +9,11 @@ import (
 
 func TestSafepointFastPathNoSTW(t *testing.T) {
 	s := newSafepoints()
-	s.register()
+	tok := s.register("")
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < 1_000_000; i++ {
-			s.poll()
+			s.poll(tok)
 		}
 		close(done)
 	}()
@@ -22,7 +22,7 @@ func TestSafepointFastPathNoSTW(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("polling without STW must never block")
 	}
-	s.unregister()
+	s.unregister(tok)
 }
 
 func TestStopTheWorldWaitsForAllMutators(t *testing.T) {
@@ -33,13 +33,13 @@ func TestStopTheWorldWaitsForAllMutators(t *testing.T) {
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		s.register()
+		tok := s.register("")
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer s.unregister()
+			defer s.unregister(tok)
 			for !stop.Load() {
-				s.poll()
+				s.poll(tok)
 				// Outside poll the world must not be stopped: if it is,
 				// stopTheWorld returned without this mutator parked.
 				if inPause.Load() {
@@ -49,7 +49,7 @@ func TestStopTheWorldWaitsForAllMutators(t *testing.T) {
 		}()
 	}
 	for round := 0; round < 20; round++ {
-		s.stopTheWorld()
+		s.stopTheWorld(0, nil)
 		inPause.Store(true)
 		time.Sleep(time.Millisecond)
 		inPause.Store(false)
@@ -64,11 +64,11 @@ func TestStopTheWorldWaitsForAllMutators(t *testing.T) {
 
 func TestBlockedMutatorCountsAsStopped(t *testing.T) {
 	s := newSafepoints()
-	s.register()
-	s.beginBlocked()
+	tok := s.register("")
+	s.beginBlocked(tok)
 	done := make(chan struct{})
 	go func() {
-		s.stopTheWorld() // must not wait for the blocked mutator
+		s.stopTheWorld(0, nil) // must not wait for the blocked mutator
 		s.resumeTheWorld()
 		close(done)
 	}()
@@ -77,18 +77,18 @@ func TestBlockedMutatorCountsAsStopped(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("blocked mutator must count towards the STW quorum")
 	}
-	s.endBlocked()
-	s.unregister()
+	s.endBlocked(tok)
+	s.unregister(tok)
 }
 
 func TestEndBlockedWaitsOutPause(t *testing.T) {
 	s := newSafepoints()
-	s.register()
-	s.beginBlocked()
-	s.stopTheWorld()
+	tok := s.register("")
+	s.beginBlocked(tok)
+	s.stopTheWorld(0, nil)
 	resumed := make(chan struct{})
 	go func() {
-		s.endBlocked() // must block until resume
+		s.endBlocked(tok) // must block until resume
 		close(resumed)
 	}()
 	select {
@@ -102,12 +102,12 @@ func TestEndBlockedWaitsOutPause(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("endBlocked did not return after resume")
 	}
-	s.unregister()
+	s.unregister(tok)
 }
 
 func TestConsecutivePauses(t *testing.T) {
 	s := newSafepoints()
-	s.register()
+	tok := s.register("")
 	stop := make(chan struct{})
 	var polls atomic.Int64
 	go func() {
@@ -116,7 +116,7 @@ func TestConsecutivePauses(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				s.poll()
+				s.poll(tok)
 				polls.Add(1)
 			}
 		}
@@ -126,7 +126,7 @@ func TestConsecutivePauses(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	for i := 0; i < 50; i++ {
-		s.stopTheWorld()
+		s.stopTheWorld(0, nil)
 		s.resumeTheWorld()
 	}
 	close(stop)
@@ -138,12 +138,12 @@ func TestConsecutivePauses(t *testing.T) {
 
 func TestRegisterBlocksDuringSTW(t *testing.T) {
 	s := newSafepoints()
-	s.register()
-	s.beginBlocked()
-	s.stopTheWorld()
+	tok := s.register("")
+	s.beginBlocked(tok)
+	s.stopTheWorld(0, nil)
 	registered := make(chan struct{})
 	go func() {
-		s.register() // must wait for resume
+		s.register("") // must wait for resume
 		close(registered)
 	}()
 	select {
@@ -296,17 +296,17 @@ func TestBlockedMutatorDoesNotStallSTW(t *testing.T) {
 // world is stopped must park until the resume, not touch the heap.
 func TestBlockedWaitsOutActivePause(t *testing.T) {
 	s := newSafepoints()
-	s.register() // the blocked mutator
-	s.register() // the polling mutator (parks immediately below)
+	blockedTok := s.register("") // the blocked mutator
+	pollTok := s.register("")    // the polling mutator (parks immediately below)
 
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	exited := make(chan struct{})
 	go func() {
-		s.beginBlocked()
+		s.beginBlocked(blockedTok)
 		close(entered)
 		<-release // hold the blocked section open across the pause
-		s.endBlocked()
+		s.endBlocked(blockedTok)
 		close(exited)
 	}()
 	<-entered
@@ -316,7 +316,7 @@ func TestBlockedWaitsOutActivePause(t *testing.T) {
 	go func() {
 		close(pollerParked)
 		for {
-			s.poll()
+			s.poll(pollTok)
 			select {
 			case <-pollerStop:
 				return
@@ -326,7 +326,7 @@ func TestBlockedWaitsOutActivePause(t *testing.T) {
 	}()
 	<-pollerParked
 
-	s.stopTheWorld()
+	s.stopTheWorld(0, nil)
 	close(release)
 	select {
 	case <-exited:

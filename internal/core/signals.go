@@ -1,0 +1,85 @@
+package core
+
+import (
+	"hcsgc/internal/signals"
+	"hcsgc/internal/telemetry/latency"
+)
+
+// The collector's signal-plane wiring: one hook at the cycle boundary
+// that folds the completed latency flight record, the locality profiler's
+// freshly drained interval, and the heap/allocation/relocation deltas
+// into one signals.CycleSignals record. One predictable branch when no
+// plane is attached (c.sig == nil); the priced difference is
+// BenchmarkSignalsOverhead.
+
+// allocBytesTotal sums the attached mutators' allocation ledgers plus the
+// closed-mutator fold.
+func (c *Collector) allocBytesTotal() uint64 {
+	c.mutMu.Lock()
+	total := c.allocBytesClosed
+	for m := range c.muts {
+		total += m.allocBytes.Load()
+	}
+	c.mutMu.Unlock()
+	return total
+}
+
+// recordSignals assembles and publishes the cycle's unified signal
+// record. Runs under cycleMu, after Locality.OnCycle has drained the
+// profiler's per-cycle interval and after the latency tracker completed
+// the flight record.
+func (c *Collector) recordSignals(cs *CycleStats, flight latency.CycleRecord) {
+	if c.sig == nil {
+		return
+	}
+
+	allocTotal := c.allocBytesTotal()
+	relocObjects := c.stats.mutatorRelocObjects.Load() + c.stats.gcRelocObjects.Load()
+	relocBytes := c.stats.mutatorRelocBytes.Load() + c.stats.gcRelocBytes.Load()
+	hs := signals.HeapSignals{
+		UsedBeforePct:    cs.HeapUsedBefore,
+		UsedAfterPct:     cs.HeapUsedAfter,
+		AllocBytes:       allocTotal - c.lastAllocBytes,
+		MarkedBytes:      cs.MarkedBytes,
+		ECSmall:          cs.ECSmall,
+		ECMedium:         cs.ECMedium,
+		ECSmallLiveBytes: cs.ECSmallLiveBytes,
+		PagesFreedEmpty:  cs.PagesFreedEmpty,
+		RelocObjects:     relocObjects - c.lastRelocObjects,
+		RelocBytes:       relocBytes - c.lastRelocBytes,
+		ColdFrac:         -1,
+	}
+	if span := flight.VEnd - flight.VStart; span > 0 {
+		hs.AllocPerKCycle = float64(hs.AllocBytes) / float64(span) * 1000
+	}
+	if cs.HotmapDensity >= 0 {
+		hs.ColdFrac = 1 - cs.HotmapDensity
+	}
+	c.lastAllocBytes = allocTotal
+	c.lastRelocObjects = relocObjects
+	c.lastRelocBytes = relocBytes
+
+	var ls signals.LocalitySignals
+	if cr, ok := c.cfg.Locality.LastCycle(); ok {
+		ls = signals.LocalitySignals{
+			Present:           true,
+			ReuseP50:          cr.Interval.ReuseP50,
+			ReuseP90:          cr.Interval.ReuseP90,
+			StreamCoverage:    cr.Interval.StreamCoverage,
+			SeqStreamCoverage: cr.Interval.SeqStreamCoverage,
+			PageEntropyBits:   cr.Interval.PageEntropyBits,
+			SegPurity:         cr.Interval.SegPurity,
+		}
+	}
+
+	c.sig.OnCycle(signals.CycleSignals{
+		Seq:       cs.Seq,
+		Trigger:   cs.Trigger,
+		VStart:    flight.VStart,
+		VEnd:      flight.VEnd,
+		Flight:    flight,
+		Heap:      hs,
+		Locality:  ls,
+		StallDist: c.lat.StallDist(),
+	})
+}

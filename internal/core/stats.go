@@ -30,6 +30,11 @@ type CycleStats struct {
 	SegregationPurity float64
 	// SegregatedPages is the number of pages the purity was computed over.
 	SegregatedPages int
+	// HotmapDensity is hot bytes over live bytes across hot-trackable
+	// pages at mark end (-1 when not measured: neither telemetry nor the
+	// signal plane was attached, or hotness is off). The signal plane
+	// derives its cold_frac signal as 1 - HotmapDensity.
+	HotmapDensity float64
 }
 
 // statsLog accumulates per-cycle records and global relocation counters.

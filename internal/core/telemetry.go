@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"hcsgc/internal/heap"
@@ -87,26 +89,53 @@ func newColTelemetry(sink *telemetry.Sink) colTelemetry {
 }
 
 // stopTheWorldTimed runs the STW handshake, recording the wall-clock
-// wait until quorum as a safepoint-wait sample attributed to pause.
+// wait until quorum as a safepoint-wait sample attributed to pause. The
+// STW progress watchdog is armed here: if the handshake overruns
+// Config.STWWatchdog, a flight-recorder dump names the mutators not at
+// the safepoint (the pause keeps waiting — the watchdog diagnoses the
+// hang, it does not abort it).
 func (c *Collector) stopTheWorldTimed(pause telemetry.SpanID) {
+	onStall := c.stwWatchdogReport(pause)
 	if !c.tm.enabled {
-		c.sp.stopTheWorld()
+		c.sp.stopTheWorld(c.cfg.STWWatchdog, onStall)
 		return
 	}
 	start := time.Now()
-	c.sp.stopTheWorld()
+	c.sp.stopTheWorld(c.cfg.STWWatchdog, onStall)
 	wait := uint64(time.Since(start).Nanoseconds())
 	c.tm.rec.Record(telemetry.EvSafepointWait, 0, wait, uint64(pause))
 	c.tm.safepointWaitNS.Observe(float64(wait))
 }
 
+// stwWatchdogReport builds the watchdog's overrun callback: it emits a
+// flight-recorder dump naming the mutators still running, which turns
+// the "attached mutator idles without Blocked() and deadlocks every STW"
+// gotcha from a silent hang into a diagnosable report.
+func (c *Collector) stwWatchdogReport(pause telemetry.SpanID) func(stuck []string, registered, stopped int) {
+	if c.cfg.STWWatchdog <= 0 {
+		return nil
+	}
+	return func(stuck []string, registered, stopped int) {
+		c.watchdogFired.Add(1)
+		c.lat.AutoDump(fmt.Sprintf(
+			"stw watchdog: pause %s exceeded %v with %d/%d mutators stopped; not at safepoint: %s",
+			pause, c.cfg.STWWatchdog, stopped, registered, strings.Join(stuck, ", ")))
+	}
+}
+
+// WatchdogReports returns the number of STW watchdog overrun reports.
+func (c *Collector) WatchdogReports() uint64 {
+	return c.watchdogFired.Load()
+}
+
 // recordMarkEnd publishes mark-end observations: marked live bytes and
 // the hotmap density over hot-trackable pages subject to this mark. Runs
-// inside STW2 (the page set is frozen) and only when telemetry is on.
+// inside STW2 (the page set is frozen) when telemetry or the signal
+// plane wants the density (the plane derives cold_frac from it).
 //
 //hcsgc:stw-only
 func (c *Collector) recordMarkEnd(cs *CycleStats) {
-	if !c.tm.enabled {
+	if !c.tm.enabled && c.sig == nil {
 		return
 	}
 	startSeq := c.startSeq.Load()
@@ -121,6 +150,10 @@ func (c *Collector) recordMarkEnd(cs *CycleStats) {
 	density := 0.0
 	if live > 0 {
 		density = float64(hot) / float64(live)
+		// Only a real measurement updates the stats record: with hotness
+		// off no page is hot-trackable and the -1 sentinel must survive
+		// so the signal plane reports cold_frac as unmeasured.
+		cs.HotmapDensity = density
 	}
 	c.tm.hotmapDensity.Set(density)
 	c.tm.markedBytes.Set(float64(cs.MarkedBytes))

@@ -501,6 +501,19 @@ func (pf *Profiler) OnCycle(seq uint64, purity float64) {
 	}
 }
 
+// LastCycle returns the most recently drained per-cycle interval report
+// (ok=false before the first OnCycle). Cheap — no probe folding or map
+// cloning — so the signal plane can call it at every cycle boundary.
+// Nil-safe.
+func (pf *Profiler) LastCycle() (CycleReport, bool) {
+	if pf == nil {
+		return CycleReport{}, false
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.lastCycle, pf.lastCycle.Cycle != 0
+}
+
 // Report snapshots the profiler: cumulative stats, the last cycle's
 // interval, and recent per-cycle history. Nil-safe (returns nil).
 func (pf *Profiler) Report() *Report {

@@ -17,12 +17,15 @@ type Sink struct {
 	rec *Recorder
 	reg *Registry
 
-	mu       sync.Mutex
-	gclog    func(io.Writer)
-	locality func() any
-	mmu      func() any
-	kv       func() any
-	flight   func(io.Writer) error
+	mu          sync.Mutex
+	gclog       func(io.Writer)
+	locality    func() any
+	mmu         func() any
+	kv          func() any
+	flight      func(io.Writer) error
+	flightRearm func()
+	signals     func() any
+	tailattr    func() any
 
 	// dropped mirrors the recorder's loss counters into the registry at
 	// scrape time so exporters can alert on telemetry loss.
@@ -134,6 +137,42 @@ func (s *Sink) SetFlightRecorder(fn func(io.Writer) error) {
 	s.mu.Unlock()
 }
 
+// SetFlightRearm installs the dump-budget reset behind the
+// /flightrecorder?rearm=1 parameter (typically latency.Tracker.Rearm).
+// Nil-safe; the latest runtime wins.
+func (s *Sink) SetFlightRearm(fn func()) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.flightRearm = fn
+	s.mu.Unlock()
+}
+
+// SetSignals installs the snapshot source behind the /signals endpoint
+// (typically a closure over signals.Plane.Snapshot). The returned value
+// is rendered as JSON. Nil-safe; the latest runtime wins.
+func (s *Sink) SetSignals(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.signals = fn
+	s.mu.Unlock()
+}
+
+// SetTailAttr installs the snapshot source behind the /tailattr endpoint
+// (typically a closure over signals.TailAttributor.Report). The returned
+// value is rendered as JSON. Nil-safe; the latest workload wins.
+func (s *Sink) SetTailAttr(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tailattr = fn
+	s.mu.Unlock()
+}
+
 // WriteFlightRecorder renders the installed flight-recorder dump to w,
 // outside any HTTP request (the chaos soak captures failing runs with it).
 // A sink without an installed renderer writes nothing.
@@ -153,8 +192,10 @@ func (s *Sink) WriteFlightRecorder(w io.Writer) error {
 // Handler returns the HTTP mux serving /metrics (Prometheus text),
 // /metrics.json (JSON snapshot), /trace (Chrome trace_event JSON),
 // /gclog (ZGC-style text log), /locality (locality-profiler report),
-// /mmu (minimum-mutator-utilization curve), /kv (KV serving report) and
-// /flightrecorder (latency flight-recorder dump).
+// /mmu (minimum-mutator-utilization curve), /kv (KV serving report),
+// /flightrecorder (latency flight-recorder dump; ?rearm=1 resets the
+// auto-dump budget), /signals (unified per-cycle signal plane) and
+// /tailattr (request-level tail attribution report).
 func (s *Sink) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -221,10 +262,14 @@ func (s *Sink) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(fn())
 	})
-	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		fn := s.flight
+		rearm := s.flightRearm
 		s.mu.Unlock()
+		if r.URL.Query().Get("rearm") == "1" && rearm != nil {
+			rearm()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if fn == nil {
 			io.WriteString(w, "null\n")
@@ -232,12 +277,38 @@ func (s *Sink) Handler() http.Handler {
 		}
 		fn(w)
 	})
+	mux.HandleFunc("/signals", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.signals
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			io.WriteString(w, "null\n")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fn())
+	})
+	mux.HandleFunc("/tailattr", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.tailattr
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			io.WriteString(w, "null\n")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fn())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /kv /flightrecorder")
+		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /kv /flightrecorder /signals /tailattr")
 	})
 	return mux
 }

@@ -124,6 +124,9 @@ func distOf(h *Hist) Dist {
 	}
 }
 
+// Dist summarizes the histogram for reports.
+func (h *Hist) Dist() Dist { return distOf(h) }
+
 // BarrierPathReport is one slow-path family: exact hit count plus the
 // sampled latency distribution.
 type BarrierPathReport struct {

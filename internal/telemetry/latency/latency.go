@@ -178,6 +178,7 @@ type Tracker struct {
 	utilGauge  *telemetry.Gauge
 	pathCtrs   [numPaths]*telemetry.Counter
 	dumpsTotal *telemetry.Counter
+	dumpsLeft  *telemetry.Gauge
 	rec        *telemetry.Recorder
 }
 
@@ -282,10 +283,12 @@ func (t *Tracker) RecordBarrierLatency(p BarrierPath, cycles uint64) {
 // the identity, pause, EC and verifier fields filled in; the tracker
 // completes it (phase durations, barrier deltas, MMU and utilization),
 // appends it to the flight ring, and publishes gauges, counters and
-// Perfetto counter-track samples.
-func (t *Tracker) OnCycle(rec CycleRecord) {
+// Perfetto counter-track samples. The completed record is returned so the
+// signal plane can fold it into its CycleSignals snapshot without
+// re-deriving the attribution fields.
+func (t *Tracker) OnCycle(rec CycleRecord) CycleRecord {
 	if t == nil {
-		return
+		return rec
 	}
 	for k := 0; k < numPhases; k++ {
 		d := t.curPhase[k].Swap(0)
@@ -350,6 +353,7 @@ func (t *Tracker) OnCycle(rec CycleRecord) {
 		recd.Record(telemetry.EvCounter, telemetry.CounterUtilization,
 			math.Float64bits(rec.Utilization), rec.Seq)
 	}
+	return rec
 }
 
 // BindTelemetry registers the hcsgc_pause/phase/stall/barrier/mmu metric
@@ -393,6 +397,8 @@ func (t *Tracker) BindTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder
 	}
 	dumps := reg.Counter("hcsgc_flight_dumps_total",
 		"Automatic flight-recorder dumps (verifier failure, OOM).")
+	dumpsLeft := reg.Gauge("hcsgc_flight_dumps_remaining",
+		"Automatic flight-recorder dumps left before the cap (re-armable via /flightrecorder?rearm=1).")
 
 	t.mu.Lock()
 	t.mmuGauges = gauges
@@ -400,8 +406,16 @@ func (t *Tracker) BindTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder
 	t.pathCtrs = ctrs
 	t.ctrSynced = [numPaths]uint64{}
 	t.dumpsTotal = dumps
+	t.dumpsLeft = dumpsLeft
 	t.rec = rec
+	left := uint64(t.cfg.AutoDumpLimit)
+	if t.dumps < left {
+		left -= t.dumps
+	} else {
+		left = 0
+	}
 	t.mu.Unlock()
+	dumpsLeft.Set(float64(left))
 }
 
 // Report snapshots the full latency-attribution state. Nil-safe (returns
@@ -461,9 +475,48 @@ func (t *Tracker) AutoDump(reason string) {
 	}
 	t.dumps++
 	dumps := t.dumpsTotal
+	left := t.dumpsLeft
+	remaining := uint64(t.cfg.AutoDumpLimit) - t.dumps
 	t.mu.Unlock()
 	dumps.Inc()
+	left.Set(float64(remaining))
 	writeDump(t.cfg.DumpTo, FlightDump{Reason: reason, Report: t.Report()}, false)
+}
+
+// Rearm resets the automatic-dump budget back to AutoDumpLimit (served by
+// /flightrecorder?rearm=1), so an operator who has collected the capped
+// dumps can keep the recorder live without restarting. Nil-safe.
+func (t *Tracker) Rearm() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dumps = 0
+	left := t.dumpsLeft
+	t.mu.Unlock()
+	left.Set(float64(t.cfg.AutoDumpLimit))
+}
+
+// DumpsRemaining returns the automatic dumps left before the cap.
+func (t *Tracker) DumpsRemaining() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dumps >= uint64(t.cfg.AutoDumpLimit) {
+		return 0
+	}
+	return uint64(t.cfg.AutoDumpLimit) - t.dumps
+}
+
+// StallDist summarizes the allocation-stall distribution (the signal
+// plane's per-cycle stall view). Nil-safe (returns the zero Dist).
+func (t *Tracker) StallDist() Dist {
+	if t == nil {
+		return Dist{}
+	}
+	return distOf(t.stall)
 }
 
 // WriteFlight renders an on-demand flight dump to w as indented JSON (the

@@ -89,6 +89,13 @@ const (
 	CounterMMU20k
 	CounterMMU100k
 	CounterUtilization
+	// The unified signal plane's per-cycle derived signals
+	// (CounterSignalAllocRate..CounterSignalColdFrac must stay
+	// contiguous).
+	CounterSignalAllocRate
+	CounterSignalStallP99
+	CounterSignalHeapUsed
+	CounterSignalColdFrac
 )
 
 // CounterName renders a CounterID as its Perfetto track name.
@@ -112,6 +119,14 @@ func CounterName(id uint32) string {
 		return "latency_mmu_100k"
 	case CounterUtilization:
 		return "latency_mutator_utilization"
+	case CounterSignalAllocRate:
+		return "signal_alloc_kb_per_kcycle"
+	case CounterSignalStallP99:
+		return "signal_stall_p99_cycles"
+	case CounterSignalHeapUsed:
+		return "signal_heap_used_pct"
+	case CounterSignalColdFrac:
+		return "signal_cold_frac"
 	default:
 		return "counter"
 	}
@@ -119,6 +134,9 @@ func CounterName(id uint32) string {
 
 // counterCat is the trace category of an EvCounter series.
 func counterCat(id uint32) string {
+	if id >= CounterSignalAllocRate && id <= CounterSignalColdFrac {
+		return "signals"
+	}
 	if id >= CounterMMU1k && id <= CounterUtilization {
 		return "latency"
 	}

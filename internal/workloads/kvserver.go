@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -72,6 +73,11 @@ func KVServer() Workload {
 				// run wins, like the other per-runtime endpoints).
 				cfg.Telemetry.SetKV(func() any { return mx.Report(nil) })
 			}
+			if cfg.Tail != nil && cfg.Telemetry != nil {
+				cfg.Tail.BindTelemetry(cfg.Telemetry.Metrics())
+				tail := cfg.Tail
+				cfg.Telemetry.SetTailAttr(func() any { return tail.Report() })
+			}
 
 			e := newEnv(cfg, kvHeapBytes, 2)
 			defer e.cleanup()
@@ -98,6 +104,13 @@ func KVServer() Workload {
 					// the abandoned-run panic.
 					m := e.rt.NewMutator(kvstore.RootSlots)
 					defer m.Close()
+					m.SetName(fmt.Sprintf("kv-server-%d", tid))
+					// Per-thread tail classifier: nil when attribution is
+					// off, making every Observe a one-branch no-op. The
+					// classifier links exemplars against the runtime's
+					// signal plane (also nil-safe).
+					col := e.rt.Collector
+					cl := cfg.Tail.Classifier(e.rt.Signals)
 					loadedDone := false
 					markLoaded := func() {
 						if !loadedDone {
@@ -168,6 +181,19 @@ func KVServer() Workload {
 						if now := m.VirtualCycles(); now < at {
 							m.Work(at - now)
 						}
+						// Snapshot the attribution counters around the
+						// execution window (service start to completion):
+						// the deltas say whether this request stalled,
+						// sat through a pause, or ran while another
+						// thread stalled.
+						var tailStart, tailStall0, tailPause0, tailGStalls0, tailCyc0 uint64
+						if cl != nil {
+							tailStart = m.VirtualCycles()
+							tailStall0 = m.StallVirtualCycles()
+							tailPause0 = col.PauseCycles()
+							tailGStalls0 = col.StallCount()
+							tailCyc0 = col.Cycles()
+						}
 						switch r.Op {
 						case loadgen.OpGet:
 							sum, hit := st.Get(r.Key)
@@ -191,7 +217,23 @@ func KVServer() Workload {
 							check += sum
 						}
 						m.Work(kvWorkPerReq)
-						mx.RecordRequest(r.Phase, r.Op, m.VirtualCycles()-at)
+						end := m.VirtualCycles()
+						mx.RecordRequest(r.Phase, r.Op, end-at)
+						if cl != nil {
+							cl.Observe(hcsgc.TailObs{
+								Seq:          uint64(r.Seq),
+								Op:           r.Op.String(),
+								Phase:        loadgen.PhaseNames[r.Phase],
+								ArrivalV:     at,
+								StartV:       tailStart,
+								EndV:         end,
+								OwnStallV:    m.StallVirtualCycles() - tailStall0,
+								PauseV:       col.PauseCycles() - tailPause0,
+								GlobalStalls: col.StallCount() - tailGStalls0,
+								CycleBefore:  tailCyc0,
+								CycleAfter:   col.Cycles(),
+							})
+						}
 						if tid == 0 && r.Seq%2048 == 0 {
 							e.sampleHeap()
 						}

@@ -57,6 +57,17 @@ type RunConfig struct {
 	// DisableLatency turns the latency-attribution plane off for the
 	// run (overhead baselines).
 	DisableLatency bool
+	// Signals overrides the run's unified signal plane (nil = the
+	// runtime builds a default one; the plane is always-on). The caller
+	// keeps the handle and reads the snapshot after the run.
+	Signals *hcsgc.SignalPlane
+	// DisableSignals turns the signal plane off for the run (overhead
+	// baselines).
+	DisableSignals bool
+	// Tail attaches request-level tail attribution to the KV serving
+	// path (nil = disabled). Shared across runs, it merges their
+	// violation classifications.
+	Tail *hcsgc.TailAttributor
 	// FaultInjector arms the run's fault-injection plane (nil =
 	// disarmed). Used by the chaos soak.
 	FaultInjector *hcsgc.FaultInjector
@@ -181,6 +192,8 @@ func newEnv(cfg RunConfig, heapDefault uint64, rootSlots int) *env {
 		Locality:        cfg.Locality,
 		Latency:         cfg.Latency,
 		DisableLatency:  cfg.DisableLatency,
+		Signals:         cfg.Signals,
+		DisableSignals:  cfg.DisableSignals,
 		FaultInjector:   cfg.FaultInjector,
 		Verifier:        cfg.Verifier,
 		StallRetries:    cfg.StallRetries,
