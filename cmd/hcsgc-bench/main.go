@@ -52,7 +52,11 @@ func main() {
 		tailJSON = flag.String("tail-json", "", "also write the tail-attribution A/B report as JSON to this file")
 		tailSLO  = flag.Uint64("tail-slo", 0, "SLO threshold in virtual cycles for -tail-report (0 = default 1000000)")
 
-		benchOut     = flag.String("bench-out", "", "write the normalized benchmark artifact (BENCH_<exp>.json shape) to this file; supported by -kv-report")
+		overloadMode   = flag.Bool("overload-report", false, "run the overload-protection A/B instead: the KV workload past sustainable load (-overload-factor), unprotected vs with admission control + deadlines armed (-configs picks the single GC config; default 3)")
+		overloadJSON   = flag.String("overload-json", "", "also write the overload A/B report as JSON to this file")
+		overloadFactor = flag.Float64("overload-factor", 0, "arrival-rate multiplier past sustainable for -overload-report (0 = default 2)")
+
+		benchOut     = flag.String("bench-out", "", "write the normalized benchmark artifact (BENCH_<exp>.json shape) to this file; supported by -kv-report and -overload-report")
 		benchCompare = flag.String("bench-compare", "", "compare the run against this committed baseline artifact; >10% regressions print warnings without failing")
 
 		chaosMode = flag.Bool("chaos", false, "run a chaos soak instead: seeded fault schedules with the STW heap verifier on")
@@ -115,6 +119,13 @@ func main() {
 	if *tailMode {
 		if err := runTail(*runs, *scale, *seed, *configs, *tailSLO, *tailJSON, *quiet, sink); err != nil {
 			fmt.Fprintf(os.Stderr, "hcsgc-bench: tail: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *overloadMode {
+		if err := runOverload(*runs, *scale, *seed, *configs, *overloadFactor, *overloadJSON, *benchOut, *benchCompare, *quiet, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: overload: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -182,6 +193,7 @@ func writeList(w io.Writer) {
 		{"-latency-report", "latency A/B: pause/phase HDR percentiles, MMU ladder, barrier profile"},
 		{"-kv-report", "KV serving A/B: open-loop request latency percentiles and SLO curves per traffic phase"},
 		{"-tail-report", "KV tail-attribution A/B: p99 violations by cause, linked to responsible GC cycles"},
+		{"-overload-report", "KV overload A/B: past-sustainable load, unprotected vs admission control + deadline shedding"},
 		{"-chaos", "chaos soak: seeded fault schedules with the STW heap verifier"},
 	} {
 		fmt.Fprintf(w, "  %-16s %s\n", m.flag, m.desc)
@@ -445,6 +457,79 @@ func runTail(runs int, scale float64, seed int64, configs string, slo uint64, js
 		defer f.Close()
 		if err := bench.WriteTailJSON(f, ab); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// runOverload runs the -overload-report mode: the KV server workload at a
+// load factor past the sustainable arrival rate, once unprotected and once
+// with the overload-protection plane armed, under one GC configuration.
+// The report leads with the goodput/shed/tail comparison; the validator
+// enforces the brownout acceptance gates. With -telemetry-addr, in-flight
+// runs export hcsgc_overload_* metrics and serve the accounting on
+// /overload.
+func runOverload(runs int, scale float64, seed int64, configs string, factor float64, jsonPath, benchOut, benchCompare string, quiet bool, sink *hcsgc.TelemetrySink) error {
+	cfgID := 3 // RelocateAllSmallPages: the serving-path default
+	if configs != "" {
+		ids, err := parseConfigs(configs)
+		if err != nil {
+			return err
+		}
+		if len(ids) != 1 {
+			return fmt.Errorf("-overload-report needs exactly one config id, got %d", len(ids))
+		}
+		cfgID = ids[0]
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	progress := bench.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	ab, err := bench.RunOverloadAB(runs, scale, seed, cfgID, factor, sink, progress)
+	if err != nil {
+		return err
+	}
+	if err := bench.ValidateOverloadAB(ab); err != nil {
+		return err
+	}
+	bench.WriteOverloadReport(os.Stdout, ab)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteOverloadJSON(f, ab); err != nil {
+			return err
+		}
+	}
+	if benchOut != "" || benchCompare != "" {
+		art := bench.OverloadArtifact(ab)
+		if benchOut != "" {
+			f, err := os.Create(benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteArtifact(f, art); err != nil {
+				return err
+			}
+		}
+		if benchCompare != "" {
+			baseline, err := bench.ReadArtifactFile(benchCompare)
+			if err != nil {
+				return err
+			}
+			warns := bench.CompareArtifacts(baseline, art, 0.10)
+			for _, w := range warns {
+				fmt.Fprintf(os.Stderr, "hcsgc-bench: baseline warning: %s\n", w)
+			}
+			if len(warns) == 0 {
+				fmt.Fprintf(os.Stderr, "hcsgc-bench: all metrics within 10%% of baseline %s\n", benchCompare)
+			}
 		}
 	}
 	return nil

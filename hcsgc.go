@@ -34,6 +34,7 @@ import (
 	"hcsgc/internal/locality"
 	"hcsgc/internal/machine"
 	"hcsgc/internal/objmodel"
+	"hcsgc/internal/overload"
 	"hcsgc/internal/signals"
 	"hcsgc/internal/simmem"
 	"hcsgc/internal/telemetry"
@@ -126,6 +127,26 @@ type (
 	TailClassifier = signals.Classifier
 	// TailObs is one completed request's raw attribution observation.
 	TailObs = signals.Obs
+	// DeadlineExceededError is the structured error returned when a
+	// per-request allocation budget (Mutator.SetAllocBudget) runs out:
+	// the request fails fast instead of joining a stall convoy.
+	DeadlineExceededError = core.DeadlineExceededError
+	// OverloadController is the serving path's admission-control state
+	// machine (Normal → Brownout → Shed with hysteresis), consuming the
+	// signal plane and live heap occupancy (see internal/overload).
+	OverloadController = overload.Controller
+	// OverloadPolicy is the overload plane's tunable configuration.
+	OverloadPolicy = overload.Policy
+	// OverloadHooks are the controller's levers into the runtime.
+	OverloadHooks = overload.Hooks
+	// OverloadStats accumulates the overload plane's request-outcome
+	// accounting (sheds, fast-fails, retries, goodput/badput).
+	OverloadStats = overload.Stats
+	// OverloadReport is an overload-plane accounting snapshot (the
+	// /overload payload).
+	OverloadReport = overload.Report
+	// OverloadError is one shed admission decision.
+	OverloadError = overload.Error
 )
 
 // Sentinel errors for errors.Is against allocation failures.
@@ -134,7 +155,24 @@ var (
 	ErrOutOfMemory = core.ErrOutOfMemory
 	// ErrHeapFull is the underlying page-commit failure cause.
 	ErrHeapFull = heap.ErrHeapFull
+	// ErrDeadlineExceeded is in the chain of every allocation aborted by
+	// a per-request budget (Mutator.SetAllocBudget).
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrOverload is in the chain of every request shed by admission
+	// control (OverloadController.Admit).
+	ErrOverload = overload.ErrOverload
 )
+
+// NewOverloadController builds the admission-control state machine over a
+// policy, a signal plane, runtime hooks, and an optional fault injector;
+// decisions and outcomes are recorded into stats (which may be shared
+// across runs; nil discards them). See internal/overload.
+func NewOverloadController(pol OverloadPolicy, plane *SignalPlane, hooks OverloadHooks, inj *FaultInjector, stats *OverloadStats) *OverloadController {
+	return overload.NewController(pol, plane, hooks, inj, stats)
+}
+
+// NewOverloadStats returns an empty overload accounting accumulator.
+func NewOverloadStats() *OverloadStats { return overload.NewStats() }
 
 // NewFaultInjector builds an armed injector from a fault configuration.
 // Pass it via Options.FaultInjector.

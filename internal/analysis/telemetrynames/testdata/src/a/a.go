@@ -86,4 +86,26 @@ func register(reg *telemetry.Registry, suffix string) {
 	reg.Counter("hcsgc_tail_cause_cycles", "Latency.", "cause", "service")        // want `registered as Counter here but as Summary`
 	reg.Gauge("hcsgc_tail_exemplars_total", "Not a counter.")                     // want `_total suffix promises a monotonic counter`
 	reg.Summary("hcsgc_tail_cause_bucket", "Reserved.", nil)                      // want `reserved suffix "_bucket"`
+
+	// The overload-plane families (internal/overload.Stats.BindTelemetry
+	// and Controller.BindTelemetry): outcome counters — sheds by priority,
+	// fast-fail causes, client retries, state transitions — plus the
+	// admission-state gauge and the successful-request latency summary.
+	reg.Counter("hcsgc_overload_sheds_total", "Requests rejected by admission control.", "priority", "point")
+	reg.Counter("hcsgc_overload_sheds_total", "Requests rejected by admission control.", "priority", "bulk")
+	reg.Counter("hcsgc_overload_stale_sheds_total", "Requests shed at dequeue past their SLO budget.")
+	reg.Counter("hcsgc_overload_forced_sheds_total", "Admission rejections forced by the fault injector.")
+	reg.Counter("hcsgc_overload_deadline_exceeded_total", "Attempts failed fast by the allocation budget.")
+	reg.Counter("hcsgc_overload_oom_failures_total", "Attempts failed by heap exhaustion.")
+	reg.Counter("hcsgc_overload_retries_total", "Client retries after a shed.")
+	reg.Counter("hcsgc_overload_failures_total", "Requests that exhausted their retries.")
+	reg.Counter("hcsgc_overload_successes_total", "Requests completed successfully.")
+	reg.Counter("hcsgc_overload_transitions_total", "Admission state transitions.")
+	reg.Counter("hcsgc_overload_emergency_gc_total", "Early GC cycles forced by the controller.")
+	reg.Gauge("hcsgc_overload_state", "Admission state (0 normal, 1 brownout, 2 shed).")
+	reg.Summary("hcsgc_overload_success_cycles", "Successful-request latency.", nil)
+	reg.Counter("hcsgc_overload_sheds_total", "Sheds.", "priority", "point") // want `registered with different help text`
+	reg.Gauge("hcsgc_overload_success_cycles", "Latency.")                   // want `registered as Gauge here but as Summary`
+	reg.Gauge("hcsgc_overload_sheds_total", "Not a counter.")                // want `registered as Gauge here but as Counter`
+	reg.Summary("hcsgc_overload_state_count", "Reserved.", nil)              // want `reserved suffix "_count"`
 }

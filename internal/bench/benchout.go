@@ -17,8 +17,11 @@ type BenchMetric struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
 	// Better says which direction is an improvement: "lower" (latencies)
-	// or "higher" (hit rates, throughput).
-	Better string `json:"better"`
+	// or "higher" (hit rates, throughput). Empty means informational —
+	// recorded in the artifact for trend inspection but exempt from the
+	// baseline comparison (metrics with no stable direction, like the
+	// meltdown side of an overload A/B).
+	Better string `json:"better,omitempty"`
 }
 
 // Artifact is the normalized benchmark output format (`hcsgc-bench
@@ -116,6 +119,10 @@ func CompareArtifacts(base, cur Artifact, tol float64) []string {
 			continue
 		}
 		if b.Value == 0 || math.IsNaN(b.Value) {
+			continue
+		}
+		if m.Better == "" {
+			// Informational metric: no direction, no threshold.
 			continue
 		}
 		rel := (m.Value - b.Value) / math.Abs(b.Value)

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"hcsgc"
+	"hcsgc/internal/overload"
 	"hcsgc/internal/telemetry"
 	"hcsgc/internal/workloads"
 )
@@ -39,6 +40,17 @@ type ChaosRun struct {
 	VerifierRuns uint64
 	// Fired counts injected faults by point name.
 	Fired map[string]uint64
+	// Sheds counts overload-plane rejections (admission plus stale-dequeue
+	// drops; KV soak only, where the overload plane is armed). Under
+	// injected faults nonzero sheds with a nil Err is the graceful
+	// degradation the soak wants: requests fail individually, the run
+	// survives.
+	Sheds uint64
+	// OverloadFailures counts per-request fast failures recorded by the
+	// overload plane (deadline expiries plus per-request OOMs; KV soak
+	// only) — heap exhaustion surfacing as failed requests instead of an
+	// aborted run.
+	OverloadFailures uint64
 	// GCLog is the run's gclog snapshot, captured only for failed runs as
 	// the diagnostic artifact.
 	GCLog string
@@ -81,6 +93,16 @@ func RunChaos(expID string, runs int, scale float64, baseSeed int64, progress Pr
 	if runs <= 0 {
 		runs = 20
 	}
+	// The KV soak arms the overload plane: the randomized schedules force
+	// sheds, deadline expiries, and emergency GC on top of the usual
+	// allocation faults, and the serving path must degrade per-request
+	// (sheds, fast-fails, dead shards) rather than abort. It also sizes
+	// differently — the open-loop schedule needs enough requests to
+	// exercise the admission path under the tight chaos heap.
+	kv := expID == "kv"
+	if scale <= 0 && kv {
+		scale = 0.12
+	}
 	if scale <= 0 {
 		// The default soak scale: enough cumulative allocation (~7.7 MB of
 		// garbage for fig4) that every schedule overflows the tight chaos
@@ -93,7 +115,7 @@ func RunChaos(expID string, runs int, scale float64, baseSeed int64, progress Pr
 	res := ChaosResult{Experiment: expID, Workload: w.Name}
 	for r := 0; r < runs; r++ {
 		seed := baseSeed + int64(r)
-		res.Runs = append(res.Runs, chaosRun(w, chaosConfigs[r%len(chaosConfigs)], scale, seed))
+		res.Runs = append(res.Runs, chaosRun(w, chaosConfigs[r%len(chaosConfigs)], scale, seed, kv))
 		run := &res.Runs[len(res.Runs)-1]
 		switch {
 		case run.Failed():
@@ -131,7 +153,7 @@ func (s *syncBuffer) String() string {
 // chaosRun executes one seeded run: fresh injector, fresh verifier, a
 // private telemetry sink whose gclog becomes the artifact on failure, and
 // a latency tracker whose flight recorder dumps into the run record.
-func chaosRun(w workloads.Workload, config int, scale float64, seed int64) ChaosRun {
+func chaosRun(w workloads.Workload, config int, scale float64, seed int64, kv bool) ChaosRun {
 	faults := hcsgc.RandomFaultConfig(seed)
 	inj := hcsgc.NewFaultInjector(faults)
 	v := hcsgc.NewHeapVerifier()
@@ -140,11 +162,29 @@ func chaosRun(w workloads.Workload, config int, scale float64, seed int64) Chaos
 	tracker := hcsgc.NewLatencyTracker(hcsgc.LatencyConfig{DumpTo: dumpBuf})
 	run := ChaosRun{Seed: seed, Config: config, Faults: faults.String()}
 
+	var pol *overload.Policy
+	var ost *overload.Stats
+	if kv {
+		pol = &overload.Policy{Seed: seed}
+		ost = overload.NewStats()
+	}
+	// The KV soak halves the chaos heap: the serving workload's churn at
+	// soak scale does not overflow 8 MB, so a driver-suppressed schedule
+	// would never collect (zero verifier passes). At 4 MB every schedule
+	// reaches the limit and collects through stalls — and the overload
+	// plane turns the resulting exhaustion into sheds and per-request
+	// fast-fails instead of an aborted run.
+	heapMax := uint64(8 << 20)
+	if kv {
+		heapMax = 4 << 20
+	}
 	_, err := w.Run(workloads.RunConfig{
-		Knobs:   KnobsFor(config),
-		Seed:    seed,
-		Scale:   scale,
-		Latency: tracker,
+		Overload:      pol,
+		OverloadStats: ost,
+		Knobs:         KnobsFor(config),
+		Seed:          seed,
+		Scale:         scale,
+		Latency:       tracker,
 		// A deliberately tight heap and an eager trigger: chaos wants many
 		// cycles (each one is a verifier pass and a fresh relocation era),
 		// not a leisurely stroll to 70% of 64 MB. Tight enough that even a
@@ -154,7 +194,7 @@ func chaosRun(w workloads.Workload, config int, scale float64, seed int64) Chaos
 		// retired TLAB, and with only 3 pages of budget every stall retry
 		// would land on a full heap again (a livelock the stall budget ends
 		// in graceful OOM).
-		HeapMaxBytes:   8 << 20,
+		HeapMaxBytes:   heapMax,
 		TriggerPercent: 30,
 		DisableMem:     true, // chaos exercises control flow, not locality
 		Telemetry:      sink,
@@ -171,6 +211,11 @@ func chaosRun(w workloads.Workload, config int, scale float64, seed int64) Chaos
 	run.Violations = v.Violations()
 	run.VerifierRuns = v.Runs()
 	run.Fired = inj.FiredByPoint()
+	if ost != nil {
+		orep := ost.Report(0)
+		run.Sheds = orep.ShedPoint + orep.ShedBulk
+		run.OverloadFailures = orep.DeadlineExceeded + orep.OOMFailures
+	}
 	if run.Failed() || run.OOM {
 		run.FlightDump = dumpBuf.String()
 		if run.FlightDump == "" {
@@ -195,6 +240,14 @@ func chaosRun(w workloads.Workload, config int, scale float64, seed int64) Chaos
 func WriteChaosReport(out io.Writer, res ChaosResult) {
 	fmt.Fprintf(out, "chaos soak: %s (%s): %d runs, %d failures, %d graceful OOMs\n",
 		res.Experiment, res.Workload, len(res.Runs), res.Failures, res.OOMs)
+	var sheds, ofails uint64
+	for _, r := range res.Runs {
+		sheds += r.Sheds
+		ofails += r.OverloadFailures
+	}
+	if sheds+ofails > 0 {
+		fmt.Fprintf(out, "overload plane: %d sheds, %d per-request fast-fails across the soak\n", sheds, ofails)
+	}
 	for _, r := range res.Runs {
 		if !r.Failed() {
 			continue

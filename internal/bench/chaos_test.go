@@ -36,6 +36,39 @@ func TestChaosSoakShort(t *testing.T) {
 	}
 }
 
+// TestChaosKVSoakShort soaks the KV serving path with the overload plane
+// armed: randomized schedules (which force sheds, deadline expiries, and
+// emergency GC on top of allocation faults) must degrade per-request —
+// no aborted runs, no verifier violations — and at least one seed must
+// actually exercise the overload plane.
+func TestChaosKVSoakShort(t *testing.T) {
+	res, err := RunChaos("kv", 3, 0, 100, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(res.Runs))
+	}
+	var degraded uint64
+	for _, r := range res.Runs {
+		if r.Failed() {
+			t.Errorf("seed %d failed: err=%v violations=%v\ngclog:\n%s", r.Seed, r.Err, r.Violations, r.GCLog)
+		}
+		degraded += r.Sheds + r.OverloadFailures
+	}
+	if res.Failures != 0 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	if degraded == 0 {
+		t.Fatal("no seed in the KV soak recorded a shed or per-request fast-fail; the overload plane never engaged")
+	}
+	var b strings.Builder
+	WriteChaosReport(&b, res)
+	if !strings.Contains(b.String(), "overload plane:") {
+		t.Fatalf("report missing the overload-plane line:\n%s", b.String())
+	}
+}
+
 // TestChaosReportCarriesReproducer checks a failed run prints the
 // reproducer command with its seed.
 func TestChaosReportCarriesReproducer(t *testing.T) {

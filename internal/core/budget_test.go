@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hcsgc/internal/faultinject"
+	"hcsgc/internal/telemetry/latency"
+)
+
+// TestAllocBudgetPreflightDeadline arms a budget whose deadline is already
+// behind the virtual clock: the very next allocation must fail fast with
+// ErrDeadlineExceeded before touching the heap — no stall, no OOM verdict.
+func TestAllocBudgetPreflightDeadline(t *testing.T) {
+	c, _, _ := oomEnv(t, 8<<20, Config{TriggerPercent: 101})
+	m := c.NewMutator(1)
+	m.Work(1000)
+	used := c.Heap().UsedBytes()
+
+	m.SetAllocBudget(500, 0) // clock is at 1000: already expired
+	_, err := m.TryAllocWordArray(8)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired budget returned %v, want ErrDeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrOutOfMemory) {
+		t.Fatal("deadline expiry must not read as heap exhaustion")
+	}
+	var derr *DeadlineExceededError
+	if !errors.As(err, &derr) {
+		t.Fatalf("error chain %v lacks *DeadlineExceededError", err)
+	}
+	if derr.DeadlineV != 500 || derr.NowV < derr.DeadlineV {
+		t.Fatalf("deadline fields: now %d, deadline %d", derr.NowV, derr.DeadlineV)
+	}
+	if derr.Stalls != 0 {
+		t.Fatalf("pre-flight expiry absorbed %d stalls, want 0", derr.Stalls)
+	}
+	if derr.Forced {
+		t.Fatal("organic expiry reported as injector-forced")
+	}
+	if derr.Size == 0 {
+		t.Fatal("expiry did not record the requested size")
+	}
+	if got := c.Heap().UsedBytes(); got != used {
+		t.Fatalf("expired request allocated: heap %d -> %d bytes", used, got)
+	}
+	if m.Stalls != 0 {
+		t.Fatalf("pre-flight expiry stalled %d times", m.Stalls)
+	}
+
+	// Disarming restores normal allocation.
+	m.ClearAllocBudget()
+	if _, err := m.TryAllocWordArray(8); err != nil {
+		t.Fatalf("allocation after ClearAllocBudget: %v", err)
+	}
+}
+
+// TestAllocBudgetStallCap exhausts the heap with live data, then checks
+// that a budget with MaxStalls=1 converts the would-be OOM stall convoy
+// into a prompt deadline failure after exactly one absorbed stall.
+func TestAllocBudgetStallCap(t *testing.T) {
+	c, _, _ := oomEnv(t, 4<<20, Config{TriggerPercent: 101, StallRetries: 8})
+	m := c.NewMutator(64)
+	// Fill with rooted (live) arrays until exhaustion.
+	i := 0
+	for ; i < 64; i++ {
+		ref, err := m.TryAllocWordArray(8 << 10)
+		if err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("fill failed with %v, want ErrOutOfMemory", err)
+			}
+			break
+		}
+		m.SetRoot(i, ref)
+	}
+	if i == 64 {
+		t.Fatal("heap never filled")
+	}
+
+	// Unbudgeted: exhaustion (the global stall policy ran out).
+	if _, err := m.TryAllocWordArray(8 << 10); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("unbudgeted alloc on full heap: %v, want ErrOutOfMemory", err)
+	}
+
+	// Budgeted with a generous deadline but MaxStalls=1: one stall, then
+	// a deadline verdict — not OOM, and far fewer stalls than StallRetries.
+	before := m.Stalls
+	m.SetAllocBudget(m.VirtualCycles()+1<<40, 1)
+	_, err := m.TryAllocWordArray(8 << 10)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("budgeted alloc on full heap: %v, want ErrDeadlineExceeded", err)
+	}
+	var derr *DeadlineExceededError
+	if !errors.As(err, &derr) {
+		t.Fatalf("error chain %v lacks *DeadlineExceededError", err)
+	}
+	if derr.Stalls != 1 {
+		t.Fatalf("budget absorbed %d stalls, want exactly 1", derr.Stalls)
+	}
+	if got := m.Stalls - before; got != 1 {
+		t.Fatalf("mutator stalled %d times under MaxStalls=1", got)
+	}
+
+	// The budget resets per arm: a fresh SetAllocBudget absorbs its own
+	// stall before failing (the counter did not leak across requests).
+	m.SetAllocBudget(m.VirtualCycles()+1<<40, 1)
+	_, err = m.TryAllocWordArray(8 << 10)
+	if !errors.As(err, &derr) || derr.Stalls != 1 {
+		t.Fatalf("re-armed budget: %v, want one absorbed stall", err)
+	}
+}
+
+// TestAllocBudgetForcedExpiry drives the fault injector's ForceDeadline
+// point: an armed budget with ample room still fails fast (Forced set),
+// and allocation performs zero heap work after the decision.
+func TestAllocBudgetForcedExpiry(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{Seed: 1, ForceDeadline: 1})
+	c, _, _ := oomEnv(t, 8<<20, Config{TriggerPercent: 101, FaultInjector: inj})
+	m := c.NewMutator(1)
+
+	// Unarmed: the injector point is not consulted; allocation proceeds.
+	if _, err := m.TryAllocWordArray(8); err != nil {
+		t.Fatalf("unarmed alloc with ForceDeadline=1: %v", err)
+	}
+
+	used := c.Heap().UsedBytes()
+	m.SetAllocBudget(m.VirtualCycles()+1<<40, 0)
+	_, err := m.TryAllocWordArray(8)
+	var derr *DeadlineExceededError
+	if !errors.As(err, &derr) || !derr.Forced {
+		t.Fatalf("forced expiry returned %v, want Forced *DeadlineExceededError", err)
+	}
+	if c.Heap().UsedBytes() != used {
+		t.Fatal("injector-forced expiry still allocated")
+	}
+}
+
+// TestAllocBudgetHonorsDeadlineDuringStalls pins the mid-stall check: on a
+// full heap a budget with an imminent deadline gives up as soon as the
+// clock passes it, instead of riding out the global retry budget. Stall
+// virtual time is charged to the clock via the latency tracker, so the
+// env arms one (without it the clock freezes during stalls).
+func TestAllocBudgetHonorsDeadlineDuringStalls(t *testing.T) {
+	var dump strings.Builder
+	c, _, _ := oomEnv(t, 4<<20, Config{
+		TriggerPercent: 101, StallRetries: 64,
+		Latency: latency.New(latency.Config{DumpTo: &dump}),
+	})
+	m := c.NewMutator(64)
+	for i := 0; i < 64; i++ {
+		ref, err := m.TryAllocWordArray(8 << 10)
+		if err != nil {
+			break
+		}
+		m.SetRoot(i, ref)
+	}
+	// Deadline just ahead: a stall's virtual-time charge pushes the clock
+	// past it, so the next budget check fails the request long before 64
+	// retries elapse.
+	m.SetAllocBudget(m.VirtualCycles()+1, 0)
+	_, err := m.TryAllocWordArray(8 << 10)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("imminent-deadline alloc: %v, want ErrDeadlineExceeded", err)
+	}
+	var derr *DeadlineExceededError
+	if !errors.As(err, &derr) {
+		t.Fatal("missing *DeadlineExceededError")
+	}
+	if derr.Stalls >= 64 {
+		t.Fatalf("request rode out %d stalls despite expired deadline", derr.Stalls)
+	}
+}

@@ -105,6 +105,15 @@ type Collector struct {
 	effConf         atomic.Uint64 // effective ColdConfidence (bits of float64), for AutoTune
 	lastTuneMiss    float64
 
+	// headroomBytes is the emergency allocation headroom reserved by the
+	// overload controller: the background driver triggers a cycle as if
+	// this many extra bytes were already allocated, so the collector never
+	// enters a cycle with zero slack. emergency is a one-shot request for
+	// an immediate driver-run cycle (reason "emergency"). Both are posted
+	// from serving threads and consumed by the driver goroutine.
+	headroomBytes atomic.Uint64
+	emergency     atomic.Bool
+
 	driverStop chan struct{}
 	driverDone chan struct{}
 }

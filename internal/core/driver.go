@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"time"
+
+	"hcsgc/internal/faultinject"
 )
 
 // StartDriver launches the background GC trigger: a goroutine that starts
@@ -27,11 +29,19 @@ func (c *Collector) StartDriver() {
 				if c.inj.DriverSuppressed() {
 					continue
 				}
-				if c.heap.UsedPercent() >= c.cfg.TriggerPercent {
+				emergency := c.emergency.Swap(false)
+				if emergency {
+					c.inj.At(faultinject.EmergencyTrigger, 0)
+				}
+				if emergency || c.triggerDue() {
 					if c.cycleMu.TryLock() {
 						// Re-check under the lock: a stall-triggered cycle
-						// may have just freed memory.
-						if c.heap.UsedPercent() >= c.cfg.TriggerPercent {
+						// may have just freed memory. An emergency request
+						// is unconditional — but if a cycle is already
+						// running (TryLock failed) it has been satisfied.
+						if emergency {
+							c.runCycle("emergency")
+						} else if c.triggerDue() {
 							c.runCycle("occupancy")
 						}
 						c.cycleMu.Unlock()
@@ -40,6 +50,48 @@ func (c *Collector) StartDriver() {
 			}
 		}
 	}()
+}
+
+// triggerDue reports whether the occupancy trigger should fire, counting
+// any emergency headroom reserved by the overload controller as already
+// allocated: with headroom h, the cycle starts h bytes earlier, so the
+// collector never enters one with zero slack.
+func (c *Collector) triggerDue() bool {
+	if c.heap.UsedPercent() >= c.cfg.TriggerPercent {
+		return true
+	}
+	hr := c.headroomBytes.Load()
+	if hr == 0 {
+		return false
+	}
+	max := c.heap.MaxBytes()
+	if max == 0 {
+		return false
+	}
+	return 100*float64(c.heap.UsedBytes()+hr)/float64(max) >= c.cfg.TriggerPercent
+}
+
+// SetEmergencyHeadroom reserves (or, with 0, releases) emergency
+// allocation headroom: the background driver treats the reservation as
+// already-allocated bytes when evaluating the occupancy trigger. Posted
+// by the overload controller under heap pressure; safe from any
+// goroutine.
+func (c *Collector) SetEmergencyHeadroom(bytes uint64) {
+	c.headroomBytes.Store(bytes)
+}
+
+// EmergencyHeadroom returns the currently reserved emergency headroom.
+func (c *Collector) EmergencyHeadroom() uint64 {
+	return c.headroomBytes.Load()
+}
+
+// RequestEmergencyGC asks the background driver to start a cycle at its
+// next tick regardless of occupancy (reason "emergency"). Non-blocking
+// and safe from serving threads: unlike Collect it never waits on the
+// cycle lock, and a request arriving while a cycle is already running is
+// considered satisfied by it. Requires StartDriver.
+func (c *Collector) RequestEmergencyGC() {
+	c.emergency.Store(true)
 }
 
 // StopDriver stops the background trigger and waits for it to exit.

@@ -44,3 +44,42 @@ func (e *OutOfMemoryError) Unwrap() []error {
 	}
 	return []error{ErrOutOfMemory, e.Cause}
 }
+
+// ErrDeadlineExceeded is the sentinel for an allocation abandoned because
+// the caller-supplied per-request budget (virtual-cycle deadline or stall
+// bound, see Mutator.SetAllocBudget) ran out; match with errors.Is. The
+// concrete error in the chain is a *DeadlineExceededError. Unlike
+// ErrOutOfMemory this is not a heap-exhaustion verdict: it means the
+// request chose to fail fast instead of taking a seat in a stall convoy.
+var ErrDeadlineExceeded = errors.New("core: allocation deadline exceeded")
+
+// DeadlineExceededError reports an allocation aborted by the per-request
+// budget armed via Mutator.SetAllocBudget. It fires either before the
+// first heap touch (the pre-flight check in allocWords) or between stall
+// iterations, so an expired request never performs another heap
+// allocation after the decision point.
+type DeadlineExceededError struct {
+	// Size is the requested allocation in bytes.
+	Size uint64
+	// DeadlineV is the absolute virtual-cycle deadline that was armed.
+	DeadlineV uint64
+	// NowV is the mutator's virtual-cycle clock when the budget check
+	// fired.
+	NowV uint64
+	// Stalls is the number of allocation stalls this budget absorbed
+	// before giving up (0 when the pre-flight check fired).
+	Stalls int
+	// Forced marks a fault-injector-forced expiry (chaos/testing).
+	Forced bool
+}
+
+func (e *DeadlineExceededError) Error() string {
+	if e.Forced {
+		return fmt.Sprintf("core: allocation deadline exceeded (injector-forced): %d-byte allocation, %d stalls", e.Size, e.Stalls)
+	}
+	return fmt.Sprintf("core: allocation deadline exceeded: %d-byte allocation at vcycle %d past deadline %d (%d stalls)",
+		e.Size, e.NowV, e.DeadlineV, e.Stalls)
+}
+
+// Unwrap exposes the ErrDeadlineExceeded sentinel to errors.Is.
+func (e *DeadlineExceededError) Unwrap() error { return ErrDeadlineExceeded }

@@ -69,6 +69,16 @@ type Mutator struct {
 	// watchdog names it when the mutator overruns a pause deadline.
 	tok *spToken
 
+	// budgetDeadline is the per-request allocation budget armed via
+	// SetAllocBudget: an absolute virtual-cycle deadline (0 = unarmed,
+	// costing one predictable branch per allocation). budgetMaxStalls
+	// bounds the allocation stalls the budget may absorb; budgetStalls
+	// counts those taken since the budget was armed. Owner-goroutine
+	// only, like Stalls.
+	budgetDeadline  uint64
+	budgetMaxStalls int
+	budgetStalls    int
+
 	// Stalls counts allocation stalls.
 	Stalls uint64
 
@@ -195,6 +205,63 @@ func (m *Mutator) VirtualCycles() uint64 {
 // was built without a memory model).
 func (m *Mutator) Core() *simmem.Core { return m.core }
 
+// AllocatedBytes returns this mutator's cumulative allocation volume.
+// Only maintained while a signal plane is attached (see allocBytes);
+// without one it reads 0. Overload harnesses delta it across a request
+// to prove shed requests perform zero heap allocations.
+func (m *Mutator) AllocatedBytes() uint64 { return m.allocBytes.Load() }
+
+// SetAllocBudget arms a per-request allocation budget on this mutator:
+// allocations fail fast with a *DeadlineExceededError once the mutator's
+// VirtualCycles clock passes deadlineV (checked before the first heap
+// touch and again before each allocation stall), or once the budget has
+// absorbed maxStalls allocation stalls (0 = stalls bounded only by the
+// deadline and the global Config.StallRetries). This extends the global
+// StallRetries/StallDeadline machinery with a caller-supplied per-request
+// bound: instead of taking a seat in a stall convoy, an over-budget
+// request unwinds promptly and the caller sheds or retries it.
+//
+// The budget belongs to the owning goroutine, like the rest of the
+// mutator's allocation state. deadlineV of 0 disarms (see
+// ClearAllocBudget).
+func (m *Mutator) SetAllocBudget(deadlineV uint64, maxStalls int) {
+	m.budgetDeadline = deadlineV
+	m.budgetMaxStalls = maxStalls
+	m.budgetStalls = 0
+}
+
+// ClearAllocBudget disarms the per-request allocation budget; allocations
+// revert to the global stall policy.
+func (m *Mutator) ClearAllocBudget() {
+	m.budgetDeadline = 0
+	m.budgetMaxStalls = 0
+	m.budgetStalls = 0
+}
+
+// budgetExpired checks the armed per-request budget (caller guarantees it
+// is armed). The fault injector can force expiry, which is how the
+// zero-allocations-after-decision regression test drives this path.
+func (m *Mutator) budgetExpired(size uint64) *DeadlineExceededError {
+	now := m.VirtualCycles()
+	if now >= m.budgetDeadline {
+		return &DeadlineExceededError{
+			Size: size, DeadlineV: m.budgetDeadline, NowV: now, Stalls: m.budgetStalls,
+		}
+	}
+	if m.budgetMaxStalls > 0 && m.budgetStalls >= m.budgetMaxStalls {
+		return &DeadlineExceededError{
+			Size: size, DeadlineV: m.budgetDeadline, NowV: now, Stalls: m.budgetStalls,
+		}
+	}
+	if m.c.inj.ForceDeadline() {
+		return &DeadlineExceededError{
+			Size: size, DeadlineV: m.budgetDeadline, NowV: now, Stalls: m.budgetStalls,
+			Forced: true,
+		}
+	}
+	return nil
+}
+
 // --- Allocation ---------------------------------------------------------
 
 // Alloc allocates a fixed-layout object and returns a good-colored
@@ -249,6 +316,14 @@ func mustAlloc(ref heap.Ref, err error) heap.Ref {
 func (m *Mutator) allocWords(sizeWords int, typeID uint16) (heap.Ref, error) {
 	m.Safepoint()
 	size := uint64(sizeWords) * heap.WordSize
+	// Pre-flight budget check: an expired request fails here, before the
+	// first heap touch, so a deadline-exceeded request performs zero heap
+	// allocations after the decision point.
+	if m.budgetDeadline != 0 {
+		if derr := m.budgetExpired(size); derr != nil {
+			return heap.NullRef, derr
+		}
+	}
 	var addr uint64
 	var err error
 	class := heap.ClassFor(size, m.c.cfg.Knobs.TinyPages && m.c.heap.Config().EnableTinyClass)
@@ -330,6 +405,15 @@ func (m *Mutator) allocStall(size uint64, alloc func() (uint64, error)) (uint64,
 				MaxBytes:  m.c.heap.MaxBytes(),
 				Cause:     lastErr,
 			}
+		}
+		// Per-request budget: prefer failing this request promptly over
+		// taking a seat in the stall convoy. Checked before every stall so
+		// the bound holds even when the global StallRetries is generous.
+		if m.budgetDeadline != 0 {
+			if derr := m.budgetExpired(size); derr != nil {
+				return 0, derr
+			}
+			m.budgetStalls++
 		}
 		m.Stalls++
 		m.c.stallCount.Add(1)

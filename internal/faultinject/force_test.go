@@ -1,0 +1,104 @@
+package faultinject
+
+import "testing"
+
+// TestForcePointsEndpointsAndCounting: the overload-plane force points
+// (shed / deadline / emergency) obey p=0 / p=1 endpoints, count their
+// fires at the matching injection points, and stay independent.
+func TestForcePointsEndpointsAndCounting(t *testing.T) {
+	always := New(Config{Seed: 7, ForceShed: 1, ForceDeadline: 1, ForceEmergency: 1})
+	never := New(Config{Seed: 7})
+	for i := 0; i < 100; i++ {
+		if !always.ForceShed() || !always.ForceDeadline() || !always.ForceEmergency() {
+			t.Fatal("p=1 force point declined")
+		}
+		if never.ForceShed() || never.ForceDeadline() || never.ForceEmergency() {
+			t.Fatal("p=0 force point fired")
+		}
+	}
+	if always.Fired(OverloadShed) != 100 || always.Fired(DeadlineExpire) != 100 ||
+		always.Fired(EmergencyTrigger) != 100 {
+		t.Fatalf("forced fires miscounted: shed %d deadline %d emergency %d",
+			always.Fired(OverloadShed), always.Fired(DeadlineExpire), always.Fired(EmergencyTrigger))
+	}
+	if n := never.FiredTotal(); n != 0 {
+		t.Fatalf("p=0 injector recorded %d fires", n)
+	}
+
+	// Only the configured point fires.
+	shedOnly := New(Config{Seed: 7, ForceShed: 1})
+	shedOnly.ForceShed()
+	shedOnly.ForceDeadline()
+	if shedOnly.Fired(OverloadShed) != 1 || shedOnly.Fired(DeadlineExpire) != 0 {
+		t.Fatal("force points not independent")
+	}
+}
+
+// TestForcePointsSeedDeterministic: a fractional force probability yields
+// the same decision sequence for the same seed, and a calibrated rate.
+func TestForcePointsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) (out []bool) {
+		inj := New(Config{Seed: seed, ForceShed: 0.3})
+		for i := 0; i < 400; i++ {
+			out = append(out, inj.ForceShed())
+		}
+		return
+	}
+	a, b := run(99), run(99)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across identically seeded injectors", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires < 70 || fires > 170 {
+		t.Fatalf("ForceShed=0.3 fired %d/400", fires)
+	}
+	c := run(100)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 99 and 100 produced identical force sequences")
+	}
+}
+
+// TestNilInjectorForcePoints: the nil injector never forces anything.
+func TestNilInjectorForcePoints(t *testing.T) {
+	var inj *Injector
+	if inj.ForceShed() || inj.ForceDeadline() || inj.ForceEmergency() {
+		t.Fatal("nil injector forced an overload fault")
+	}
+}
+
+// TestRandomizedCoversOverloadPoints: chaos configs keep the overload
+// force rates small and bounded (sheds and deadline expiries are request
+// failures; a chaos soak must degrade, not zero out, the workload).
+func TestRandomizedCoversOverloadPoints(t *testing.T) {
+	sawShed, sawDeadline, sawEmergency := false, false, false
+	for seed := int64(0); seed < 64; seed++ {
+		cfg := Randomized(seed)
+		if cfg.ForceShed < 0 || cfg.ForceShed > 0.05 {
+			t.Fatalf("seed %d: ForceShed=%v out of [0,0.05]", seed, cfg.ForceShed)
+		}
+		if cfg.ForceDeadline < 0 || cfg.ForceDeadline > 0.05 {
+			t.Fatalf("seed %d: ForceDeadline=%v out of [0,0.05]", seed, cfg.ForceDeadline)
+		}
+		if cfg.ForceEmergency < 0 || cfg.ForceEmergency > 0.02 {
+			t.Fatalf("seed %d: ForceEmergency=%v out of [0,0.02]", seed, cfg.ForceEmergency)
+		}
+		sawShed = sawShed || cfg.ForceShed > 0
+		sawDeadline = sawDeadline || cfg.ForceDeadline > 0
+		sawEmergency = sawEmergency || cfg.ForceEmergency > 0
+	}
+	if !sawShed || !sawDeadline || !sawEmergency {
+		t.Fatal("no seed in [0,64) arms the overload force points")
+	}
+}

@@ -65,8 +65,21 @@ type Store struct {
 
 // New builds a store over m, sized for about expectKeys entries. The
 // bucket array is allocated immediately and pinned at root slot
-// rootBuckets for the store's lifetime.
+// rootBuckets for the store's lifetime. Panics on heap exhaustion;
+// serving paths that must degrade instead use TryNew.
 func New(m *hcsgc.Mutator, types Types, expectKeys int) *Store {
+	s, err := TryNew(m, types, expectKeys)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TryNew is New returning ErrOutOfMemory (in the error chain) instead of
+// panicking when the heap cannot hold the bucket array — a server thread
+// on an exhausted heap degrades to failing its requests rather than
+// killing the process (goroutine panics are uncatchable from outside).
+func TryNew(m *hcsgc.Mutator, types Types, expectKeys int) (*Store, error) {
 	if m.NumRoots() < RootSlots {
 		panic("kvstore: mutator needs at least RootSlots root slots")
 	}
@@ -75,8 +88,12 @@ func New(m *hcsgc.Mutator, types Types, expectKeys int) *Store {
 		buckets <<= 1
 	}
 	s := &Store{m: m, types: types, mask: uint64(buckets) - 1}
-	m.SetRoot(rootBuckets, m.AllocRefArray(buckets))
-	return s
+	arr, err := m.TryAllocRefArray(buckets)
+	if err != nil {
+		return nil, err
+	}
+	m.SetRoot(rootBuckets, arr)
+	return s, nil
 }
 
 // mix is a 64-bit finalizer (splitmix64's) spreading sequential keys
@@ -154,8 +171,23 @@ func (s *Store) Version(key uint64) uint64 {
 
 // Set writes key with a fresh words-long payload, inserting the entry or
 // bumping its version and replacing the old payload (which becomes
-// garbage). Returns the stored version.
+// garbage). Returns the stored version. On heap exhaustion it panics
+// with the error TrySet would return; callers that want to degrade
+// gracefully use TrySet.
 func (s *Store) Set(key uint64, words int) uint64 {
+	version, err := s.TrySet(key, words)
+	if err != nil {
+		panic(err)
+	}
+	return version
+}
+
+// TrySet is Set with graceful failure: allocation errors (heap
+// exhaustion, an expired per-request allocation budget) unwind as an
+// error instead of panicking. A failed TrySet never mutates the index —
+// both the update and insert paths allocate before publishing — so the
+// store stays consistent and the request can be shed or retried.
+func (s *Store) TrySet(key uint64, words int) (uint64, error) {
 	if words < 1 {
 		words = 1
 	}
@@ -164,7 +196,11 @@ func (s *Store) Set(key uint64, words int) uint64 {
 	if e != hcsgc.NullRef {
 		version := m.LoadField(e, fVersion) + 1
 		m.SetRoot(rootPinA, e)
-		val := m.AllocWordArray(words) // safepoint: e is stale now
+		val, err := m.TryAllocWordArray(words) // safepoint: e is stale now
+		if err != nil {
+			m.SetRoot(rootPinA, 0)
+			return 0, err
+		}
 		for i := 0; i < words; i++ {
 			m.StoreField(val, i, valueWord(key, version, i))
 		}
@@ -172,16 +208,23 @@ func (s *Store) Set(key uint64, words int) uint64 {
 		m.StoreField(e, fVersion, version)
 		m.StoreRef(e, fValue, val)
 		m.SetRoot(rootPinA, 0)
-		return version
+		return version, nil
 	}
 	// Insert: payload first, pinned across the entry allocation.
 	const version = 1
-	val := m.AllocWordArray(words)
+	val, err := m.TryAllocWordArray(words)
+	if err != nil {
+		return 0, err
+	}
 	for i := 0; i < words; i++ {
 		m.StoreField(val, i, valueWord(key, version, i))
 	}
 	m.SetRoot(rootPinA, val)
-	e = m.Alloc(s.types.Entry) // safepoint: val is stale now
+	e, err = m.TryAlloc(s.types.Entry) // safepoint: val is stale now
+	if err != nil {
+		m.SetRoot(rootPinA, 0) // the orphaned payload becomes garbage
+		return 0, err
+	}
 	m.StoreField(e, fKey, key)
 	m.StoreField(e, fVersion, version)
 	m.StoreRef(e, fValue, m.LoadRoot(rootPinA))
@@ -191,7 +234,7 @@ func (s *Store) Set(key uint64, words int) uint64 {
 	m.StoreRef(buckets, b, e)
 	m.SetRoot(rootPinA, 0)
 	s.size++
-	return version
+	return version, nil
 }
 
 // Delete unlinks key; the entry and its payload become garbage. Reports

@@ -94,6 +94,11 @@ type Request struct {
 	// SessionRetire marks a churn-generated delete (session teardown)
 	// rather than a mix delete, for reporting.
 	SessionRetire bool
+	// Deadline is the absolute virtual-cycle deadline for the request
+	// (At + Config.DeadlineCycles), or 0 when the schedule carries no
+	// deadlines. The serving side arms it as a per-request allocation
+	// budget; the client side stops retrying past it.
+	Deadline uint64
 }
 
 // PhaseInfo describes one phase's slice of the schedule.
@@ -147,6 +152,11 @@ type Config struct {
 	SessionEvery int
 	// SessionSpan is the retired range size in slots. Default Keys/32.
 	SessionSpan int
+	// DeadlineCycles, when positive, stamps every request with an
+	// absolute deadline At + DeadlineCycles. Deadlines are derived, not
+	// drawn: arming them consumes no RNG stream, so schedules with and
+	// without deadlines have identical arrivals, keys, and op mixes.
+	DeadlineCycles uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -331,6 +341,9 @@ func Generate(cfg Config) *Schedule {
 		now += r.expGap(gap)
 
 		req := Request{Seq: seq, At: now, Phase: phase}
+		if cfg.DeadlineCycles > 0 {
+			req.Deadline = now + cfg.DeadlineCycles
+		}
 		switch {
 		case len(pendingRetire) > 0:
 			// Session teardown: deletes for the retired range drain at
@@ -405,6 +418,13 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("loadgen: arrival %d not after its predecessor (%d <= %d)", i, req.At, prev)
 		}
 		prev = req.At
+		want := uint64(0)
+		if s.Config.DeadlineCycles > 0 {
+			want = req.At + s.Config.DeadlineCycles
+		}
+		if req.Deadline != want {
+			return fmt.Errorf("loadgen: request %d deadline %d, want %d", i, req.Deadline, want)
+		}
 	}
 	if len(s.Phases) != NumPhases {
 		return fmt.Errorf("loadgen: %d phases, want %d", len(s.Phases), NumPhases)
@@ -427,4 +447,22 @@ func gcd(a, b int) int {
 		a, b = b, a%b
 	}
 	return a
+}
+
+// RetryBackoff returns the jittered backoff, in virtual cycles, a client
+// waits before retry attempt (1-based) of request seq: base × attempt,
+// scaled by a deterministic jitter in [0.5, 1.5) keyed by (seed, seq,
+// attempt). A pure function — retrying clients stay reproducible and
+// never synchronize their retries into a thundering herd.
+func RetryBackoff(seed int64, seq uint64, attempt int, base uint64) uint64 {
+	if base == 0 || attempt <= 0 {
+		return 0
+	}
+	h := seq<<8 | uint64(attempt&0xff)
+	h = h*0x9e3779b97f4a7c15 + uint64(seed)
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	jitter := 0.5 + float64(h>>11)/(1<<53)
+	return uint64(float64(base) * float64(attempt) * jitter)
 }

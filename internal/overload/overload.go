@@ -1,0 +1,495 @@
+// Package overload is the serving path's overload-protection plane: it
+// turns heap-pressure collapse (every request queueing into an
+// allocation-stall convoy, or a structured OOM aborting the run) into
+// graceful brownout.
+//
+// Three mechanisms compose:
+//
+//   - Admission control. A Controller polls the signal plane
+//     (signals.Plane.Latest: heap_pressure / stall_spike flags plus the
+//     stall EWMA) and live heap occupancy, and moves Normal → Brownout →
+//     Shed with hysteresis. Admit rejects a controllable, priority-aware
+//     fraction of incoming requests with a structured ErrOverload before
+//     they touch the heap: bulk work (scans, cache fills) sheds first,
+//     point reads last.
+//
+//   - Deadline fast-fail. Requests carry a virtual-cycle deadline;
+//     the serving loop arms it as a per-request allocation budget
+//     (core.Mutator.SetAllocBudget), so a would-be convoy seat unwinds
+//     promptly as ErrDeadlineExceeded instead of stalling through the
+//     global retry budget.
+//
+//   - Emergency headroom. Under heap pressure the controller reserves an
+//     emergency allocation headroom slice (the GC driver triggers as if
+//     those bytes were already allocated) and can force an early cycle,
+//     so the collector never enters a cycle with zero slack.
+//
+// A nil *Controller and a nil *Stats accept every call as a no-op costing
+// one predictable branch — the same discipline as the telemetry,
+// locality, and fault-injection planes.
+package overload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hcsgc/internal/faultinject"
+	"hcsgc/internal/signals"
+	"hcsgc/internal/telemetry"
+)
+
+// ErrOverload is the sentinel for a request rejected by admission
+// control; match with errors.Is. The concrete error in the chain is an
+// *Error carrying the controller state and the request's priority.
+var ErrOverload = errors.New("overload: request shed by admission control")
+
+// Error reports one shed admission decision.
+type Error struct {
+	// State is the controller state that shed the request.
+	State State
+	// Priority is the request's admission priority.
+	Priority Priority
+	// Seq is the request sequence number the decision hashed.
+	Seq uint64
+	// Forced marks a fault-injector-forced shed (chaos/testing).
+	Forced bool
+}
+
+func (e *Error) Error() string {
+	if e.Forced {
+		return fmt.Sprintf("overload: request %d (%s) shed (injector-forced)", e.Seq, e.Priority)
+	}
+	return fmt.Sprintf("overload: request %d (%s) shed in state %s", e.Seq, e.Priority, e.State)
+}
+
+// Unwrap exposes the ErrOverload sentinel to errors.Is.
+func (e *Error) Unwrap() error { return ErrOverload }
+
+// Priority classifies requests for admission: bulk work is shed first,
+// point operations last.
+type Priority uint8
+
+const (
+	// PriorityPoint is a point operation (GET/SET/DELETE on one key):
+	// shed only in StateShed.
+	PriorityPoint Priority = iota
+	// PriorityBulk is amplifying or deferrable work (scans, read-through
+	// cache fills): shed from StateBrownout on.
+	PriorityBulk
+	// NumPriorities sizes per-priority tables.
+	NumPriorities
+)
+
+var priorityNames = [NumPriorities]string{"point", "bulk"}
+
+// String names the priority, e.g. "point".
+func (p Priority) String() string {
+	if p < NumPriorities {
+		return priorityNames[p]
+	}
+	return fmt.Sprintf("Priority(%d)", uint8(p))
+}
+
+// State is the controller's admission state.
+type State int32
+
+const (
+	// StateNormal admits everything.
+	StateNormal State = iota
+	// StateBrownout sheds bulk work (scans, fills) but admits point ops.
+	StateBrownout
+	// StateShed sheds all bulk work and a fraction of point ops.
+	StateShed
+	// NumStates sizes per-state tables.
+	NumStates
+)
+
+var stateNames = [NumStates]string{"normal", "brownout", "shed"}
+
+// String names the state, e.g. "brownout".
+func (s State) String() string {
+	if s >= 0 && s < NumStates {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Policy is the tunable half of the overload plane: pure configuration a
+// bench harness can carry without touching the runtime. The zero value
+// means "defaults" field-by-field (see WithDefaults).
+type Policy struct {
+	// DeadlineCycles is the per-request virtual-cycle budget propagated
+	// from the load generator and armed as the allocation budget.
+	DeadlineCycles uint64
+	// MaxStallsPerRequest bounds the allocation stalls one request may
+	// absorb before failing fast (0 = bounded only by the deadline).
+	MaxStallsPerRequest int
+	// MaxRetries is how many times the client retries a shed or expired
+	// request (with jittered backoff) before counting it failed.
+	// 0 = default (1); negative disables retries.
+	MaxRetries int
+	// RetryBackoffCycles is the base backoff charged before a retry; the
+	// jittered wait grows linearly with the attempt number. Kept small by
+	// default: in the sharded serving model the wait occupies the shard's
+	// thread, so a long backoff is itself head-of-line blocking.
+	RetryBackoffCycles uint64
+	// GoodputSLOCycles is the latency bound under which a successful
+	// request counts as goodput.
+	GoodputSLOCycles uint64
+
+	// BrownoutHeapPct / ShedHeapPct are live-occupancy escalation
+	// thresholds (percent of heap max).
+	BrownoutHeapPct float64
+	ShedHeapPct     float64
+	// StallEWMA escalates to at least Brownout when the signal plane's
+	// per-cycle stall EWMA reaches it.
+	StallEWMA float64
+	// ShedStallBurst escalates straight to Shed when at least this many
+	// allocation stalls landed since the previous poll (the live
+	// convoy-in-progress signal; cycle-record flags are too stale to
+	// de-escalate on convoy timescales). Default 3.
+	ShedStallBurst uint64
+	// ExitPolls is the hysteresis: consecutive calm polls required to
+	// step the state down one level. Escalation is immediate.
+	ExitPolls int
+	// ShedPointFrac is the fraction of point ops shed in StateShed
+	// (bulk work sheds fully there, and fully in Brownout).
+	ShedPointFrac float64
+	// BrownoutBulkFrac is the fraction of bulk ops shed in Brownout.
+	BrownoutBulkFrac float64
+	// EmergencyHeadroomBytes is the allocation headroom reserved while
+	// the controller is at Brownout or above with heap pressure.
+	EmergencyHeadroomBytes uint64
+	// Seed keys the deterministic per-request shed hash.
+	Seed int64
+}
+
+// WithDefaults fills zero fields with the defaults. NewController
+// applies it; serving harnesses call it to read effective knobs (the
+// deadline, retry budget, goodput SLO) off a possibly-zero policy.
+func (p Policy) WithDefaults() Policy {
+	if p.DeadlineCycles == 0 {
+		p.DeadlineCycles = 2_000_000
+	}
+	if p.MaxStallsPerRequest == 0 {
+		p.MaxStallsPerRequest = 2
+	}
+	switch {
+	case p.MaxRetries == 0:
+		p.MaxRetries = 1
+	case p.MaxRetries < 0:
+		p.MaxRetries = 0
+	}
+	if p.RetryBackoffCycles == 0 {
+		p.RetryBackoffCycles = 4_000
+	}
+	if p.GoodputSLOCycles == 0 {
+		p.GoodputSLOCycles = 1_000_000
+	}
+	// The occupancy thresholds sit above the trigger-to-cycle oscillation
+	// band (the KV heap swings 70–90% in healthy operation): occupancy
+	// alone escalates only when a cycle failed to reclaim, and the normal
+	// escalation path is the signal plane's heap_pressure / stall_spike
+	// flags, which fire on post-cycle state rather than instantaneous use.
+	if p.BrownoutHeapPct == 0 {
+		p.BrownoutHeapPct = 88
+	}
+	if p.ShedHeapPct == 0 {
+		p.ShedHeapPct = 97
+	}
+	if p.StallEWMA == 0 {
+		p.StallEWMA = 0.75
+	}
+	if p.ShedStallBurst == 0 {
+		p.ShedStallBurst = 3
+	}
+	if p.ExitPolls == 0 {
+		p.ExitPolls = 3
+	}
+	if p.ShedPointFrac == 0 {
+		p.ShedPointFrac = 0.25
+	}
+	if p.BrownoutBulkFrac == 0 {
+		p.BrownoutBulkFrac = 1
+	}
+	if p.EmergencyHeadroomBytes == 0 {
+		p.EmergencyHeadroomBytes = 512 << 10
+	}
+	return p
+}
+
+// Hooks are the controller's levers into the runtime, wired per run by
+// the serving harness. Any hook may be nil.
+type Hooks struct {
+	// HeapUsedPct returns live heap occupancy in percent.
+	HeapUsedPct func() float64
+	// Stalls returns the cumulative allocation-stall count (the
+	// collector's global counter). The poll-to-poll delta is the
+	// freshest convoy signal the controller has: cycle-record flags
+	// only change when a GC cycle completes, which is far too coarse
+	// to de-escalate on convoy timescales.
+	Stalls func() uint64
+	// SetHeadroom reserves (0 releases) emergency allocation headroom.
+	SetHeadroom func(bytes uint64)
+	// EmergencyGC requests an immediate collection cycle.
+	EmergencyGC func()
+}
+
+// Controller is the admission-control state machine. Admit is lock-free
+// (one atomic state load plus a seeded hash); Poll serializes internally
+// and is meant to be called periodically from serving threads (every few
+// dozen requests). All methods are safe on a nil receiver.
+type Controller struct {
+	pol   Policy
+	plane *signals.Plane
+	hooks Hooks
+	inj   *faultinject.Injector
+	stats *Stats
+
+	state atomic.Int32
+	// shedThresh[s][p] is the fixed-point shed probability for priority p
+	// in state s, precomputed so Admit is one compare.
+	shedThresh [NumStates][NumPriorities]uint64
+
+	mu            sync.Mutex
+	calmPolls     int
+	headroomOn    bool
+	lastStalls    uint64 // cumulative stall count at the previous poll
+	stallsInit    bool
+	lastEmergency uint64 // plane seq of the last emergency trigger
+	firedOnce     bool   // an emergency fired before any plane record
+	tState        *telemetry.Gauge
+}
+
+// NewController builds a controller over the given policy, signal plane,
+// runtime hooks, and (optional) fault injector; decisions and outcomes
+// are recorded into stats (which may be shared across runs; nil means
+// "don't record").
+func NewController(pol Policy, plane *signals.Plane, hooks Hooks, inj *faultinject.Injector, stats *Stats) *Controller {
+	pol = pol.WithDefaults()
+	ctrl := &Controller{pol: pol, plane: plane, hooks: hooks, inj: inj, stats: stats}
+	ctrl.shedThresh[StateBrownout][PriorityBulk] = toThreshold(pol.BrownoutBulkFrac)
+	ctrl.shedThresh[StateShed][PriorityBulk] = toThreshold(1)
+	ctrl.shedThresh[StateShed][PriorityPoint] = toThreshold(pol.ShedPointFrac)
+	return ctrl
+}
+
+// Policy returns the (defaulted) policy the controller runs.
+func (ctrl *Controller) Policy() Policy {
+	if ctrl == nil {
+		return Policy{}.WithDefaults()
+	}
+	return ctrl.pol
+}
+
+// State returns the current admission state.
+func (ctrl *Controller) State() State {
+	if ctrl == nil {
+		return StateNormal
+	}
+	return State(ctrl.state.Load())
+}
+
+// Poll re-evaluates the admission state from the latest signal-plane
+// record and live heap occupancy, engages or releases emergency headroom,
+// and (in Shed with heap pressure, at most once per GC cycle) forces an
+// early collection. Returns the state in force after the poll.
+func (ctrl *Controller) Poll() State {
+	if ctrl == nil {
+		return StateNormal
+	}
+	ctrl.mu.Lock()
+	defer ctrl.mu.Unlock()
+
+	var occ float64
+	if ctrl.hooks.HeapUsedPct != nil {
+		occ = ctrl.hooks.HeapUsedPct()
+	}
+	var stallEWMA float64
+	var heapFlag, stallFlag bool
+	var seq uint64
+	if ctrl.plane != nil {
+		if rec, ok := ctrl.plane.Latest(); ok {
+			seq = rec.Seq
+			for _, d := range rec.Derived {
+				switch d.Name {
+				case signals.SigStalls:
+					stallEWMA = d.EWMA
+				case signals.SigHeapUsed:
+					// Between cycles the live reading can lag a burst; take
+					// the worse of live and post-cycle EWMA.
+					if d.EWMA > occ {
+						occ = d.EWMA
+					}
+				}
+			}
+			for _, f := range rec.Flags {
+				switch f {
+				case signals.FlagHeapPressure:
+					heapFlag = true
+				case signals.FlagStallSpike:
+					stallFlag = true
+				}
+			}
+		}
+	}
+
+	// The live poll-to-poll stall delta is the primary escalation signal:
+	// a convoy is forming NOW. Cycle-record flags and the occupancy
+	// backstop catch sustained pressure, but they persist for a whole GC
+	// cycle, so they only reach Brownout on their own — holding Shed for
+	// millions of cycles after a 100k-cycle convoy drained sheds healthy
+	// traffic for nothing.
+	var stallDelta uint64
+	if ctrl.hooks.Stalls != nil {
+		cur := ctrl.hooks.Stalls()
+		if ctrl.stallsInit {
+			stallDelta = cur - ctrl.lastStalls
+		}
+		ctrl.lastStalls = cur
+		ctrl.stallsInit = true
+	}
+
+	desired := StateNormal
+	switch {
+	case stallDelta >= ctrl.pol.ShedStallBurst ||
+		(stallDelta > 0 && heapFlag) ||
+		occ >= ctrl.pol.ShedHeapPct:
+		desired = StateShed
+	case stallDelta > 0 || occ >= ctrl.pol.BrownoutHeapPct ||
+		heapFlag || stallFlag || stallEWMA >= ctrl.pol.StallEWMA:
+		desired = StateBrownout
+	}
+
+	cur := State(ctrl.state.Load())
+	next := cur
+	switch {
+	case desired > cur:
+		// Escalate immediately: protection that waits for confirmation
+		// arrives after the convoy has formed.
+		next = desired
+		ctrl.calmPolls = 0
+	case desired < cur:
+		// De-escalate one level at a time, only after ExitPolls calm
+		// observations (the hysteresis that prevents flapping).
+		ctrl.calmPolls++
+		if ctrl.calmPolls >= ctrl.pol.ExitPolls {
+			next = cur - 1
+			ctrl.calmPolls = 0
+		}
+	default:
+		ctrl.calmPolls = 0
+	}
+	if next != cur {
+		ctrl.state.Store(int32(next))
+		ctrl.stats.recordTransition()
+		ctrl.tState.Set(float64(next))
+	}
+
+	// Emergency headroom: reserved while degraded under heap pressure so
+	// the next cycle starts with slack; released when calm.
+	engage := next >= StateBrownout && (heapFlag || occ >= ctrl.pol.BrownoutHeapPct)
+	if engage != ctrl.headroomOn {
+		ctrl.headroomOn = engage
+		if ctrl.hooks.SetHeadroom != nil {
+			if engage {
+				ctrl.hooks.SetHeadroom(ctrl.pol.EmergencyHeadroomBytes)
+			} else {
+				ctrl.hooks.SetHeadroom(0)
+			}
+		}
+	}
+
+	// Early trigger: in Shed with heap pressure, force a cycle — once per
+	// observed GC cycle, so a convoy of polls doesn't convoy the driver.
+	force := ctrl.inj.ForceEmergency()
+	if force || (next == StateShed && heapFlag) {
+		if force || seq != ctrl.lastEmergency || !ctrl.firedOnce {
+			ctrl.firedOnce = true
+			ctrl.lastEmergency = seq
+			if ctrl.hooks.EmergencyGC != nil {
+				ctrl.hooks.EmergencyGC()
+				ctrl.stats.recordEmergency()
+			}
+		}
+	}
+	return next
+}
+
+// Admit decides whether to accept a request. It returns nil to admit, or
+// an *Error (wrapping ErrOverload) to shed; the decision is a pure
+// function of (policy seed, request seq) given the current state, so a
+// seeded run sheds a reproducible request subset. The shed decision
+// happens before the request touches the heap.
+func (ctrl *Controller) Admit(pri Priority, seq uint64) error {
+	if ctrl == nil {
+		return nil
+	}
+	ctrl.inj.At(faultinject.OverloadShed, seq)
+	if ctrl.inj.ForceShed() {
+		ctrl.stats.recordShed(pri, true)
+		return &Error{State: State(ctrl.state.Load()), Priority: pri, Seq: seq, Forced: true}
+	}
+	st := State(ctrl.state.Load())
+	if st == StateNormal {
+		ctrl.stats.recordAdmit()
+		return nil
+	}
+	th := ctrl.shedThresh[st][pri]
+	if th != 0 && mix(uint64(ctrl.pol.Seed), seq) < th {
+		ctrl.stats.recordShed(pri, false)
+		return &Error{State: st, Priority: pri, Seq: seq}
+	}
+	ctrl.stats.recordAdmit()
+	return nil
+}
+
+// BindTelemetry registers the controller's state gauge and delegates to
+// the stats accumulator's counters.
+func (ctrl *Controller) BindTelemetry(reg *telemetry.Registry) {
+	if ctrl == nil || reg == nil {
+		return
+	}
+	ctrl.mu.Lock()
+	ctrl.tState = reg.Gauge("hcsgc_overload_state",
+		"Admission state: 0 normal, 1 brownout, 2 shed.")
+	ctrl.tState.Set(float64(ctrl.state.Load()))
+	ctrl.mu.Unlock()
+	ctrl.stats.BindTelemetry(reg)
+}
+
+// Report snapshots the controller's state and its stats accumulator.
+func (ctrl *Controller) Report() Report {
+	if ctrl == nil {
+		return Report{State: StateNormal.String()}
+	}
+	r := ctrl.stats.Report(ctrl.pol.GoodputSLOCycles)
+	r.State = State(ctrl.state.Load()).String()
+	return r
+}
+
+// toThreshold converts a probability to a uint64 compare target (the
+// fixed-point trick the fault injector uses).
+func toThreshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return ^uint64(0)
+	default:
+		return uint64(p * float64(1<<63) * 2)
+	}
+}
+
+// mix is splitmix64's output function over a seed/stream pair: the
+// deterministic per-request shed hash.
+func mix(seed, x uint64) uint64 {
+	x = x*0x9e3779b97f4a7c15 + seed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}

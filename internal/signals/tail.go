@@ -207,6 +207,35 @@ func (t *TailAttributor) Classifier(plane *Plane) *Classifier {
 	return &Classifier{t: t, plane: plane}
 }
 
+// NoteDisruption maintains the convoy chain across requests Observe never
+// sees — failed or dropped ones (deadline-expired, shed mid-retry, OOM).
+// A failed request that stalled or sat through a pause seeds the
+// disruption window exactly as a successful one would; a failed request
+// that merely arrived mid-backlog extends it (the queue has not drained).
+// Without this the chain breaks at every failure: its successors queue
+// behind a disruption the classifier never learned about and misclassify
+// as plain service time. Nil-safe.
+func (cl *Classifier) NoteDisruption(arrivalV, endV, cycleAfter, ownStallV, pauseV uint64) {
+	if cl == nil {
+		return
+	}
+	if ownStallV > 0 || pauseV > 0 {
+		if endV > cl.lastDisruptEnd {
+			cl.lastDisruptEnd = endV
+			cl.lastDisruptCycle = cycleAfter
+			if ownStallV >= pauseV {
+				cl.lastDisruptCause = CauseAllocStall
+			} else {
+				cl.lastDisruptCause = CauseSTWPause
+			}
+		}
+		return
+	}
+	if arrivalV < cl.lastDisruptEnd && endV > cl.lastDisruptEnd {
+		cl.lastDisruptEnd = endV
+	}
+}
+
 // Observe records one completed request, classifying it when it
 // violates the SLO threshold. Nil-safe.
 func (cl *Classifier) Observe(o Obs) {

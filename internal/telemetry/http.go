@@ -26,6 +26,7 @@ type Sink struct {
 	flightRearm func()
 	signals     func() any
 	tailattr    func() any
+	overload    func() any
 
 	// dropped mirrors the recorder's loss counters into the registry at
 	// scrape time so exporters can alert on telemetry loss.
@@ -173,6 +174,18 @@ func (s *Sink) SetTailAttr(fn func() any) {
 	s.mu.Unlock()
 }
 
+// SetOverload installs the snapshot source behind the /overload endpoint
+// (typically a closure over overload.Controller.Report). The returned
+// value is rendered as JSON. Nil-safe; the latest workload wins.
+func (s *Sink) SetOverload(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.overload = fn
+	s.mu.Unlock()
+}
+
 // WriteFlightRecorder renders the installed flight-recorder dump to w,
 // outside any HTTP request (the chaos soak captures failing runs with it).
 // A sink without an installed renderer writes nothing.
@@ -195,7 +208,8 @@ func (s *Sink) WriteFlightRecorder(w io.Writer) error {
 // /mmu (minimum-mutator-utilization curve), /kv (KV serving report),
 // /flightrecorder (latency flight-recorder dump; ?rearm=1 resets the
 // auto-dump budget), /signals (unified per-cycle signal plane) and
-// /tailattr (request-level tail attribution report).
+// /tailattr (request-level tail attribution report) and /overload
+// (admission-control and goodput accounting).
 func (s *Sink) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -303,12 +317,25 @@ func (s *Sink) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(fn())
 	})
+	mux.HandleFunc("/overload", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.overload
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			io.WriteString(w, "null\n")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fn())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /kv /flightrecorder /signals /tailattr")
+		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /kv /flightrecorder /signals /tailattr /overload")
 	})
 	return mux
 }

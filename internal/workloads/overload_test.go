@@ -1,0 +1,154 @@
+package workloads
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hcsgc"
+	"hcsgc/internal/overload"
+)
+
+// kvOverloadCfg is the protected tiny KV configuration the overload tests
+// share: small scale, overload plane armed with the default policy.
+func kvOverloadCfg(seed int64) (RunConfig, *overload.Stats) {
+	ost := overload.NewStats()
+	return RunConfig{
+		Seed:          seed,
+		Scale:         0.02,
+		Overload:      &overload.Policy{},
+		OverloadStats: ost,
+	}, ost
+}
+
+// TestKVForcedShedTouchesNoHeap is the zero-allocations-after-decision
+// regression test: with the injector forcing every admission decision to
+// reject, the serving window performs zero heap allocations — shedding
+// happens before the request touches the heap, on every attempt including
+// retries and read-through fills. The control run proves the measurement
+// has teeth.
+func TestKVForcedShedTouchesNoHeap(t *testing.T) {
+	w, err := Get("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, ost := kvOverloadCfg(42)
+	cfg.FaultInjector = hcsgc.NewFaultInjector(hcsgc.FaultConfig{Seed: 42, ForceShed: 1})
+	if _, err := w.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep := ost.Report(0)
+	if rep.ForcedSheds == 0 {
+		t.Fatal("injector never forced a shed")
+	}
+	if rep.Successes != 0 {
+		t.Fatalf("%d requests succeeded under ForceShed=1", rep.Successes)
+	}
+	if got := ost.ServeAllocBytes(); got != 0 {
+		t.Fatalf("shed serving window allocated %d bytes, want 0", got)
+	}
+
+	// Control: the identical run without forced sheds must show the
+	// serving window allocating (SETs, fills) — the counter is live.
+	ctl, ostCtl := kvOverloadCfg(42)
+	if _, err := w.Run(ctl); err != nil {
+		t.Fatal(err)
+	}
+	if ostCtl.ServeAllocBytes() == 0 {
+		t.Fatal("control run recorded zero serving allocations; the measurement is dead")
+	}
+}
+
+// TestKVForcedDeadlineFailsFast: with every armed allocation budget forced
+// to report expiry, allocating ops (SETs, fills) fail fast with zero heap
+// work while allocation-free ops still serve. The serving window again
+// allocates nothing: expiry fires pre-flight, before the first heap touch.
+func TestKVForcedDeadlineFailsFast(t *testing.T) {
+	w, err := Get("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, ost := kvOverloadCfg(42)
+	cfg.FaultInjector = hcsgc.NewFaultInjector(hcsgc.FaultConfig{Seed: 42, ForceDeadline: 1})
+	if _, err := w.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep := ost.Report(0)
+	if rep.DeadlineExceeded == 0 {
+		t.Fatal("injector never forced a deadline expiry")
+	}
+	if rep.Successes == 0 {
+		t.Fatal("allocation-free ops must still serve under forced expiry")
+	}
+	if rep.Failures == 0 {
+		t.Fatal("allocating ops must fail under forced expiry")
+	}
+	if got := ost.ServeAllocBytes(); got != 0 {
+		t.Fatalf("forced-expiry serving window allocated %d bytes, want 0", got)
+	}
+}
+
+// TestKVTinyHeapDegradesGracefully squeezes the protected KV workload into
+// a heap a fraction of its default: the run must complete without a panic
+// or abort, degrade via shedding / fast-fail instead, and leave no
+// goroutines behind.
+func TestKVTinyHeapDegradesGracefully(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	w, err := Get("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, ost := kvOverloadCfg(7)
+	cfg.HeapMaxBytes = 2 << 20 // ~1/9 of the workload's default heap
+	cfg.LoadFactor = 4
+	res, err := w.Run(cfg)
+	if err != nil {
+		t.Fatalf("tiny-heap run aborted instead of degrading: %v", err)
+	}
+	rep := ost.Report(0)
+	degraded := rep.ShedPoint + rep.ShedBulk + rep.DeadlineExceeded + rep.OOMFailures
+	if degraded == 0 {
+		t.Fatal("tiny heap produced no sheds, expiries, or OOM failures — not actually under pressure")
+	}
+	if rep.Successes == 0 {
+		t.Fatal("brownout must keep serving some requests, not zero out")
+	}
+	if res.ExecSeconds <= 0 {
+		t.Fatal("non-positive execution time")
+	}
+
+	// No goroutine leak: the driver, workers, and server threads all wind
+	// down (retry briefly; goroutine exits are asynchronous).
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestKVProtectedChecksumUnaffectedWhenCalm: at tiny scale with no load
+// multiplier the heap never reaches pressure, the controller stays in
+// Normal, and the protected run must produce the identical checksum to
+// the unprotected one — protection must be invisible until it is needed.
+func TestKVProtectedChecksumUnaffectedWhenCalm(t *testing.T) {
+	w, err := Get("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := mustRun(t, w, tinyCfg(hcsgc.Knobs{}, 42))
+	cfg, ost := kvOverloadCfg(42)
+	cfg.Scale = 0.01
+	prot := mustRun(t, w, cfg)
+	rep := ost.Report(0)
+	if rep.ShedPoint+rep.ShedBulk+rep.DeadlineExceeded != 0 {
+		t.Skipf("calm run saw pressure (%d sheds, %d expiries); checksum comparison void",
+			rep.ShedPoint+rep.ShedBulk, rep.DeadlineExceeded)
+	}
+	if plain.Check != prot.Check {
+		t.Fatalf("calm protected run changed the checksum: %d vs %d", prot.Check, plain.Check)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"hcsgc"
 	"hcsgc/internal/kvstore"
 	"hcsgc/internal/machine"
+	"hcsgc/internal/overload"
 	"hcsgc/internal/simmem"
 )
 
@@ -79,6 +80,20 @@ type RunConfig struct {
 	// (nil = per-run metrics are discarded after Scores are derived).
 	// Shared across runs, it merges their request distributions.
 	KV *kvstore.Metrics
+	// Overload arms the overload-protection plane on the KV serving path
+	// (nil = unprotected: no admission control, no per-request deadlines,
+	// no client retries — heap exhaustion still degrades to per-request
+	// failures). The policy's DeadlineCycles propagates into the load
+	// generator's schedule.
+	Overload *overload.Policy
+	// OverloadStats accumulates the overload plane's outcome accounting
+	// (nil = per-run stats are discarded after Scores are derived).
+	// Shared across runs, it merges their counters and distributions.
+	OverloadStats *overload.Stats
+	// LoadFactor multiplies the KV arrival rate (the mean interarrival
+	// gap divides by it; 0 or 1 = the workload's sustainable default).
+	// The overload bench sets >= 2 to push past the sustainable point.
+	LoadFactor float64
 	// StallRetries / StallBackoff / StallDeadline bound the
 	// allocation-stall loop (see hcsgc.Options).
 	StallRetries  int
