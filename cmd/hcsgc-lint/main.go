@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,9 +35,11 @@ func main() {
 	lintkit.MaybeRunVetTool(analyzers)
 
 	var list bool
-	var only string
+	var only, jsonPath string
 	flag.BoolVar(&list, "list", false, "list the analyzers and exit")
 	flag.StringVar(&only, "only", "", "comma-separated analyzer names to run (default: all)")
+	flag.StringVar(&jsonPath, "json", "",
+		"also write the diagnostics as a JSON array to this file (\"-\" for stdout); written even when clean")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: hcsgc-lint [flags] [packages]\n\nFlags:\n")
@@ -90,12 +93,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hcsgc-lint:", err)
 		os.Exit(1)
 	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "hcsgc-lint:", err)
+			os.Exit(1)
+		}
+	}
 	if len(diags) > 0 {
 		for _, d := range diags {
 			fmt.Println(d)
 		}
 		os.Exit(2)
 	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape CI archives as an
+// artifact; keep the field set stable.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders the diagnostics as a JSON array ("[]" when clean, so
+// the artifact always exists and always parses) to path, or stdout for "-".
+func writeJSON(path string, diags []lintkit.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // run loads the packages and applies the analyzers; split out of main for

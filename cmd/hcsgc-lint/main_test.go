@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"go/token"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -8,6 +10,7 @@ import (
 	"testing"
 
 	"hcsgc/internal/analysis"
+	"hcsgc/internal/analysis/lintkit"
 )
 
 // moduleRoot walks up from the test's working directory to go.mod.
@@ -89,6 +92,88 @@ func TestRegressionGuard(t *testing.T) {
 	}
 }
 
+// mutantGuard copies the module into a scratch dir, applies a textual
+// mutation to one file, runs the full analyzer suite over patterns, and
+// asserts the expected analyzer — and only that analyzer — reports the
+// regression. This is the proof that each checker actually guards its
+// invariant, not just that the tree happens to be clean.
+func mutantGuard(t *testing.T, relFile, oldSrc, newSrc string, patterns []string, want string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("copies the module and shells out to go list")
+	}
+	root := moduleRoot(t)
+	tmp := t.TempDir()
+	copyModule(t, root, tmp)
+
+	path := filepath.Join(tmp, filepath.FromSlash(relFile))
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.ReplaceAll(string(src), oldSrc, newSrc)
+	if mutated == string(src) {
+		t.Fatalf("%s no longer contains %q; update this guard", relFile, oldSrc)
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := run(tmp, patterns, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer[want] == 0 {
+		t.Errorf("mutating %s raised no %s diagnostic (got %v)", relFile, want, diags)
+	}
+	for name, n := range byAnalyzer {
+		if name != want {
+			t.Errorf("mutation also tripped %s (%d diagnostics); the guard should be analyzer-specific", name, n)
+		}
+	}
+}
+
+// TestGuardBlockedcheck unwraps the KV server's measurement-boundary wait:
+// a bare channel receive on an attached-mutator thread must re-surface the
+// blockedcheck finding.
+func TestGuardBlockedcheck(t *testing.T) {
+	mutantGuard(t, "internal/workloads/kvserver.go",
+		"m.Blocked(func() { <-serve })", "<-serve",
+		[]string{"./internal/workloads/"}, "blockedcheck")
+}
+
+// TestGuardLockorder flips cycleMu's declared rank above mutMu's: the real
+// cycle path holds cycleMu across forEachMutator's mutMu acquisition, so
+// the declared order now contradicts the code and lockorder must fire.
+func TestGuardLockorder(t *testing.T) {
+	mutantGuard(t, "internal/core/collector.go",
+		"//hcsgc:lock-order 10", "//hcsgc:lock-order 25",
+		[]string{"./internal/core/"}, "lockorder")
+}
+
+// TestGuardAllocfree injects a per-mark allocation into markObject, the
+// hottest //hcsgc:alloc-free function; allocfree must reject the body.
+func TestGuardAllocfree(t *testing.T) {
+	mutantGuard(t, "internal/core/worker.go",
+		"size := objmodel.SizeBytes(header)",
+		"size := objmodel.SizeBytes(header)\n\tgray := append([]uint64{}, addr)\n\t_ = gray",
+		[]string{"./internal/core/"}, "allocfree")
+}
+
+// TestGuardVtimepure adds a wall-clock read to the deterministic load
+// generator; vtimepure must flag the unannotated time.Now.
+func TestGuardVtimepure(t *testing.T) {
+	mutantGuard(t, "internal/loadgen/loadgen.go",
+		"import (\n\t\"fmt\"\n\t\"math\"\n\t\"sort\"\n)",
+		"import (\n\t\"fmt\"\n\t\"math\"\n\t\"sort\"\n\t\"time\"\n)\n\n"+
+			"func wallSeed() int64 { return time.Now().UnixNano() }",
+		[]string{"./internal/loadgen/"}, "vtimepure")
+}
+
 // TestVetToolProtocol builds the binary and drives it exactly as
 // `go vet -vettool` does.
 func TestVetToolProtocol(t *testing.T) {
@@ -116,6 +201,49 @@ func TestVetToolProtocol(t *testing.T) {
 	vet.Dir = root
 	if out, err := vet.CombinedOutput(); err != nil {
 		t.Errorf("go vet -vettool on a clean package failed: %v\n%s", err, out)
+	}
+}
+
+// TestWriteJSON pins the artifact shape CI archives: a JSON array of
+// {file,line,col,analyzer,message} objects, and "[]" (never "null") when
+// the tree is clean so the artifact always parses.
+func TestWriteJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.json")
+	if err := writeJSON(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(clean)) != "[]" {
+		t.Errorf("clean run wrote %q, want empty JSON array", clean)
+	}
+
+	diags := []lintkit.Diagnostic{{
+		Pos:      token.Position{Filename: "internal/core/worker.go", Line: 131, Column: 2},
+		Analyzer: "allocfree",
+		Message:  "markObject allocates",
+	}}
+	if err := writeJSON(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, data)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("got %d entries, want 1", len(decoded))
+	}
+	got := decoded[0]
+	if got["file"] != "internal/core/worker.go" || got["line"] != float64(131) ||
+		got["col"] != float64(2) || got["analyzer"] != "allocfree" ||
+		got["message"] != "markObject allocates" {
+		t.Errorf("unexpected artifact entry: %v", got)
 	}
 }
 

@@ -1,0 +1,99 @@
+// Package af exercises allocfree: construct rules, recursive proof of
+// unannotated same-package helpers, the panic exemption, and the
+// cross-package annotation boundary.
+package af
+
+import (
+	"sync/atomic"
+
+	"dep"
+)
+
+var counter atomic.Uint64
+
+// Fast is proven clean: atomics, arithmetic, an annotated boundary, an
+// unannotated helper proven recursively, and a failure-path panic.
+//
+//hcsgc:alloc-free
+func Fast(x uint64) uint64 {
+	counter.Add(1)
+	if x == 0 {
+		panic(newError()) // failure path may allocate what it dies with
+	}
+	return helper(x) + Boundary(x)
+}
+
+// helper is unannotated but allocation-free; the pass proves it on
+// demand.
+func helper(x uint64) uint64 { return x * 2 }
+
+// Boundary is an annotated same-package boundary.
+//
+//hcsgc:alloc-free
+func Boundary(x uint64) uint64 { return x + 1 }
+
+// newError allocates, but is only reachable as a panic argument.
+func newError() error { return &codeError{} }
+
+type codeError struct{}
+
+func (*codeError) Error() string { return "boom" }
+
+// BadDirect trips the construct rules.
+//
+//hcsgc:alloc-free
+func BadDirect(n int) int {
+	s := make([]int, n) // want `allocates: make`
+	s = append(s, 1)    // want `allocates: append may grow`
+	_ = func() {}       // want `allocates: function literal`
+	return len(s)
+}
+
+// BadConcat builds a string on the fast path.
+//
+//hcsgc:alloc-free
+func BadConcat(a, b string) string {
+	return a + b // want `allocates: string concatenation`
+}
+
+// BadBox boxes a concrete value into an interface result.
+//
+//hcsgc:alloc-free
+func BadBox(x int) any {
+	return x // want `boxed into interface result`
+}
+
+// BadCallee calls a same-package helper that allocates; the finding
+// lands on the call site.
+//
+//hcsgc:alloc-free
+func BadCallee() int {
+	return dirty() // want `calls dirty, which allocates: make`
+}
+
+func dirty() int {
+	s := make([]int, 1)
+	return len(s)
+}
+
+// CrossGood calls only annotated cross-package callees.
+//
+//hcsgc:alloc-free
+func CrossGood(x uint64) uint64 { return dep.Annotated(x) }
+
+// CrossBad calls an unannotated cross-package function (module pass).
+//
+//hcsgc:alloc-free
+func CrossBad(x uint64) uint64 {
+	return dep.Plain(x) // want `neither //hcsgc:alloc-free nor on the`
+}
+
+// CrossViaHelper reaches the boundary through an unannotated helper:
+// the module pass recurses and still enforces the contract.
+//
+//hcsgc:alloc-free
+func CrossViaHelper(x uint64) uint64 { return viaHelper(x) }
+
+func viaHelper(x uint64) uint64 {
+	return dep.Plain(x) // want `neither //hcsgc:alloc-free nor on the`
+}

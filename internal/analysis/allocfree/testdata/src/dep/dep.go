@@ -1,0 +1,12 @@
+// Package dep is the cross-package boundary target: calls into it from
+// //hcsgc:alloc-free code are legal only when the callee carries the
+// annotation too.
+package dep
+
+// Annotated is a proven boundary; its own package's pass checks the body.
+//
+//hcsgc:alloc-free
+func Annotated(x uint64) uint64 { return x }
+
+// Plain is not annotated and therefore not a legal fast-path callee.
+func Plain(x uint64) uint64 { return x }

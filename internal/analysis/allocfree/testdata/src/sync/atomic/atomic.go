@@ -1,0 +1,8 @@
+// Package atomic stubs the sync/atomic surface the allocfree fixtures
+// touch; the real package is fully allowlisted.
+package atomic
+
+type Uint64 struct{ v uint64 }
+
+func (u *Uint64) Add(delta uint64) uint64 { u.v += delta; return u.v }
+func (u *Uint64) Load() uint64            { return u.v }

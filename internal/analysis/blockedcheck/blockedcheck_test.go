@@ -1,0 +1,15 @@
+package blockedcheck_test
+
+import (
+	"testing"
+
+	"hcsgc/internal/analysis/blockedcheck"
+	"hcsgc/internal/analysis/lintkit"
+)
+
+func TestBlockedCheck(t *testing.T) {
+	// Loading wrap pulls in mapp and rt; RunFixture covers the
+	// per-package propagation (mapp, rt) and the module pass (wrap's
+	// cross-package reach into mapp.CrossDrain).
+	lintkit.RunFixture(t, "testdata", "wrap", blockedcheck.Analyzer)
+}

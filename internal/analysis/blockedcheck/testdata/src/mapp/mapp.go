@@ -1,0 +1,140 @@
+// Package mapp is application code holding an attached mutator: the
+// per-package propagation cases.
+package mapp
+
+import (
+	"rt"
+	"sync"
+	"time"
+)
+
+// Serve waits correctly: the receive is wrapped in Blocked.
+func Serve(m *rt.Mutator, ch chan int) int {
+	out := 0
+	m.Blocked(func() { out = <-ch })
+	return out
+}
+
+// BadRecv waits bare with the mutator attached.
+func BadRecv(m *rt.Mutator, ch chan int) int {
+	return <-ch // want `channel receive in BadRecv`
+}
+
+// BadWait joins a WaitGroup bare.
+func BadWait(m *rt.Mutator, wg *sync.WaitGroup) {
+	wg.Wait() // want `WaitGroup.Wait in BadWait`
+}
+
+// BadSleep naps on the wall clock bare.
+func BadSleep(m *rt.Mutator) {
+	time.Sleep(1) // want `time.Sleep in BadSleep`
+}
+
+// BadSelect parks on a select with no default.
+func BadSelect(m *rt.Mutator, a, b chan int) int {
+	select { // want `select without default in BadSelect`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// PollSelect never parks: the default arm keeps it live.
+func PollSelect(m *rt.Mutator, a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// BadIndirect reaches a bare wait through a same-package helper.
+func BadIndirect(m *rt.Mutator, ch chan int) int {
+	return drain(ch)
+}
+
+func drain(ch chan int) int {
+	return <-ch // want `channel receive in drain`
+}
+
+// GoodIndirect wraps the helper call in Blocked: the helper's wait is
+// sanctioned by the caller's closure.
+func GoodIndirect(m *rt.Mutator, ch chan int) int {
+	out := 0
+	m.Blocked(func() { out = drain2(ch) })
+	return out
+}
+
+func drain2(ch chan int) int { return <-ch }
+
+// AfterClose may wait freely: the mutator is detached first.
+func AfterClose(m *rt.Mutator, ch chan int) int {
+	m.Close()
+	return <-ch
+}
+
+// SpawnDetached hands the wait to a fresh goroutine that never touches
+// a mutator: the spawned body does not inherit this function's context.
+func SpawnDetached(m *rt.Mutator, ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+// SpawnAttached spawns a goroutine that handles its own mutator and
+// then waits bare: the touch re-enters context inside the closure.
+func SpawnAttached(m *rt.Mutator, ch chan int) {
+	go func() {
+		var m2 rt.Mutator
+		<-ch // want `channel receive in SpawnAttached`
+		m2.Close()
+	}()
+}
+
+// FillPool feeds the condvar pool bare: Put's Lock is not a blocking
+// acquisition because Get's Cond.Wait releases the mutex.
+func FillPool(m *rt.Mutator, p *rt.Pool) {
+	p.Put(m)
+}
+
+// DeferredTeardown is the canonical cleanup pair: the deferred wait is
+// WRITTEN first but RUNS second — defers unwind in reverse — so the
+// mutator is already detached when teardown blocks.
+func DeferredTeardown(m *rt.Mutator, ch chan int) {
+	defer teardown(ch)
+	defer m.Close()
+	m.Blocked(func() {})
+}
+
+func teardown(ch chan int) int { return <-ch }
+
+// BadDeferOrder inverts the pair: the deferred wait runs FIRST, with
+// the mutator still attached.
+func BadDeferOrder(m *rt.Mutator, ch chan int) {
+	defer m.Close()
+	defer teardown2(ch)
+}
+
+func teardown2(ch chan int) int { return <-ch } // want `channel receive in teardown2`
+
+// EarlyDeferClose queues the detach for exit but keeps the mutator
+// attached for the whole body: the bare wait still fires.
+func EarlyDeferClose(m *rt.Mutator, ch chan int) int {
+	defer m.Close()
+	return <-ch // want `channel receive in EarlyDeferClose`
+}
+
+// GCSide runs on a GC thread: no attached mutator, waits are fine.
+//
+//hcsgc:gc-thread
+func GCSide(m *rt.Mutator, ch chan int) int {
+	return <-ch
+}
+
+// CrossDrain is only ever called from another package's mutator context
+// (the module pass must still find it).
+func CrossDrain(ch chan int) int {
+	return <-ch // want `channel receive in CrossDrain`
+}

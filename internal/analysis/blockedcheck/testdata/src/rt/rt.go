@@ -1,0 +1,101 @@
+// Package rt plays the runtime core: the Mutator type, the safepoint
+// protocol it parks on, the Blocked escape hatch, and a Collector whose
+// cycle lock holds across a stop-the-world (the blocking-lock case).
+package rt
+
+import "sync"
+
+// safepoints is the protocol registry; its methods park by design and
+// the pass exempts them wholesale.
+type safepoints struct{ ch chan struct{} }
+
+// poll parks until the pause releases the mutator.
+func (s *safepoints) poll() { <-s.ch }
+
+func (s *safepoints) beginBlocked() {}
+func (s *safepoints) endBlocked()   {}
+
+// Mutator is an attached mutator; its name is what the pass keys
+// context on.
+type Mutator struct{ sp *safepoints }
+
+// Blocked marks the mutator parked while fn waits.
+func (m *Mutator) Blocked(fn func()) {
+	m.sp.beginBlocked()
+	fn()
+	m.sp.endBlocked()
+}
+
+// Close detaches the mutator.
+func (m *Mutator) Close() {}
+
+// Stall marks itself blocked by hand around the wait, the way the
+// allocation stall path does.
+func (m *Mutator) Stall(c chan int) int {
+	m.sp.beginBlocked()
+	v := <-c
+	m.sp.endBlocked()
+	return v
+}
+
+// Collector serializes cycles under cycleMu; the critical section stops
+// the world, which makes cycleMu a blocking lock.
+type Collector struct {
+	cycleMu sync.Mutex
+	sp      *safepoints
+}
+
+func (c *Collector) stopTheWorld()   { c.sp.ch <- struct{}{} }
+func (c *Collector) resumeTheWorld() {}
+
+// Collect owns the pause: exempt, and the source of cycleMu's
+// blocking-lock classification.
+func (c *Collector) Collect() {
+	c.cycleMu.Lock()
+	c.stopTheWorld()
+	c.resumeTheWorld()
+	c.cycleMu.Unlock()
+}
+
+// Request takes the cycle lock with an attached mutator in hand and no
+// bracket: Lock can stall behind a full GC cycle.
+func (c *Collector) Request(m *Mutator) {
+	c.cycleMu.Lock() // want `Lock of rt.Collector.cycleMu, whose critical section blocks in Request`
+	c.cycleMu.Unlock()
+}
+
+// RequestWrapped brackets the same acquisition.
+func (c *Collector) RequestWrapped(m *Mutator) {
+	m.sp.beginBlocked()
+	c.cycleMu.Lock()
+	c.cycleMu.Unlock()
+	m.sp.endBlocked()
+}
+
+// Pool is the condvar pattern: Get parks under mu, but sync.Cond.Wait
+// RELEASES the mutex while parked, so mu is not a blocking lock and
+// Put's bare acquisition from mutator context stays silent.
+type Pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// Put contributes work and wakes a waiter; mutators call this bare.
+func (p *Pool) Put(m *Mutator) {
+	p.mu.Lock()
+	p.n++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Get parks on the condvar until work arrives (GC workers only).
+func (p *Pool) Get() int {
+	p.mu.Lock()
+	for p.n == 0 {
+		p.cond.Wait()
+	}
+	p.n--
+	p.mu.Unlock()
+	return p.n
+}

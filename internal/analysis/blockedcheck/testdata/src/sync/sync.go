@@ -1,0 +1,20 @@
+// Package sync stubs the stdlib surface the blockedcheck fixtures touch.
+package sync
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type Cond struct{ L *Mutex }
+
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
+func (c *Cond) Wait()        {}
+func (c *Cond) Broadcast()   {}
+func (c *Cond) Signal()      {}
+
+type WaitGroup struct{ n int }
+
+func (wg *WaitGroup) Add(delta int) {}
+func (wg *WaitGroup) Done()         {}
+func (wg *WaitGroup) Wait()         {}

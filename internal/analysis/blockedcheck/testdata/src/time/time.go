@@ -1,0 +1,6 @@
+// Package time stubs the stdlib surface the blockedcheck fixtures touch.
+package time
+
+type Duration int64
+
+func Sleep(d Duration) {}

@@ -1,0 +1,21 @@
+// Package wrap drives mapp from its own mutator context: the bare wait
+// it reaches lives one package over, which only the module pass sees.
+package wrap
+
+import (
+	"mapp"
+	"rt"
+)
+
+// Pump reaches mapp.CrossDrain's bare receive across the package
+// boundary.
+func Pump(m *rt.Mutator, ch chan int) int {
+	return mapp.CrossDrain(ch)
+}
+
+// PumpWrapped sanctions the same call.
+func PumpWrapped(m *rt.Mutator, ch chan int) int {
+	out := 0
+	m.Blocked(func() { out = mapp.CrossDrain(ch) })
+	return out
+}

@@ -244,19 +244,30 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
 
+	// DepOnly packages exist to give module-wide analyzers visibility into
+	// same-module dependencies (bodies, annotations, lock ranks): they get
+	// a pass so they join ModulePass.Pkgs, but per-package analyzers do
+	// not run on them and any diagnostic anchored in one is dropped — the
+	// user did not ask for findings there.
+	drop := func(Diagnostic) {}
+
 	passesByAnalyzer := make(map[*Analyzer][]*Pass)
 	for _, a := range analyzers {
 		for _, pkg := range pkgs {
+			report := collect
+			if pkg.DepOnly {
+				report = drop
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
-				report:    collect,
+				report:    report,
 			}
 			passesByAnalyzer[a] = append(passesByAnalyzer[a], pass)
-			if a.Run == nil {
+			if a.Run == nil || pkg.DepOnly {
 				continue
 			}
 			if err := a.Run(pass); err != nil {

@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, type-checked package.
@@ -21,6 +22,11 @@ type Package struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	// DepOnly marks a same-module dependency loaded only so module-wide
+	// analyzers can see its declarations and annotations (alloc-free
+	// contracts, lock ranks, call-graph bodies). Per-package analyzers do
+	// not run on it and no diagnostics are reported into it.
+	DepOnly bool
 
 	Fset  *token.FileSet
 	Files []*ast.File
@@ -49,6 +55,12 @@ type listedPkg struct {
 // Test files are not loaded: the invariants guard production code paths,
 // and tests exercise raw memory on purpose. (The vet-tool mode does see
 // test files, so analyzers must still tolerate them; they skip _test.go.)
+//
+// Dependencies inside the same module are loaded from source as DepOnly
+// packages: module-wide analyzers need their bodies and directive
+// comments (a //hcsgc:alloc-free annotation on a heap function must be
+// visible when only internal/core is being linted), but they produce no
+// diagnostics of their own.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -67,6 +79,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("go list -export %v: %v\n%s", patterns, err, stderr.String())
 	}
 
+	modPath := modulePath(dir)
+	inModule := func(path string) bool {
+		return modPath != "" && (path == modPath || strings.HasPrefix(path, modPath+"/"))
+	}
+
 	exports := make(map[string]string) // import path -> export data file
 	var targets []*listedPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -83,7 +100,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
+		if !p.DepOnly || inModule(p.ImportPath) {
 			q := p
 			targets = append(targets, &q)
 		}
@@ -107,9 +124,21 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = p.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// modulePath returns the main module's path, or "" outside a module.
+func modulePath(dir string) string {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // checkPackage parses and type-checks one package from source.

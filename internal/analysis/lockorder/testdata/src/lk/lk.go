@@ -1,0 +1,122 @@
+// Package lk exercises lockorder in one package: declared-rank
+// violations, unranked inversions, transitive acquisition through
+// helpers, and locks held across a safepoint boundary.
+package lk
+
+import "sync"
+
+// Server carries the ranked lock hierarchy plus an unranked pair.
+type Server struct {
+	// cycleMu serializes cycles; always first.
+	//
+	//hcsgc:lock-order 10
+	cycleMu sync.Mutex
+	// mutMu guards the registry; under cycleMu only.
+	//
+	//hcsgc:lock-order 20
+	mutMu sync.Mutex
+	// medMu guards the shared medium page.
+	//
+	//hcsgc:lock-order 30
+	medMu sync.Mutex
+	// heapMu is the page allocator lock; innermost.
+	//
+	//hcsgc:lock-order 40
+	heapMu sync.Mutex
+
+	aMu sync.Mutex
+	bMu sync.Mutex
+}
+
+// Good acquires in declared order: silent.
+func (s *Server) Good() {
+	s.cycleMu.Lock()
+	s.mutMu.Lock()
+	s.mutMu.Unlock()
+	s.cycleMu.Unlock()
+}
+
+// DeferGood extends the outer bracket with defer: still ordered.
+func (s *Server) DeferGood() {
+	s.cycleMu.Lock()
+	defer s.cycleMu.Unlock()
+	s.mutMu.Lock()
+	s.mutMu.Unlock()
+}
+
+// BadRank takes the registry lock first: declared order inverted.
+func (s *Server) BadRank() {
+	s.mutMu.Lock()
+	s.cycleMu.Lock() // want `BadRank acquires lk.Server.cycleMu .*lock-order 10.* while holding lk.Server.mutMu .*lock-order 20.*`
+	s.cycleMu.Unlock()
+	s.mutMu.Unlock()
+}
+
+// LockAB and LockBA disagree on an unranked pair: both sides report.
+func (s *Server) LockAB() {
+	s.aMu.Lock()
+	s.bMu.Lock() // want `LockAB acquires lk.Server.bMu while holding lk.Server.aMu.*opposite order`
+	s.bMu.Unlock()
+	s.aMu.Unlock()
+}
+
+func (s *Server) LockBA() {
+	s.bMu.Lock()
+	s.aMu.Lock() // want `LockBA acquires lk.Server.aMu while holding lk.Server.bMu.*opposite order`
+	s.aMu.Unlock()
+	s.bMu.Unlock()
+}
+
+// Indirect acquires the heap lock through a helper while holding the
+// medium-page lock: consistent with the declared order, silent.
+func (s *Server) Indirect() {
+	s.medMu.Lock()
+	s.lockHeap()
+	s.medMu.Unlock()
+}
+
+func (s *Server) lockHeap() {
+	s.heapMu.Lock()
+	s.heapMu.Unlock()
+}
+
+// BadIndirect reaches the medium-page lock through a helper while
+// holding the heap lock: transitive rank inversion.
+func (s *Server) BadIndirect() {
+	s.heapMu.Lock()
+	s.lockMed() // want `BadIndirect acquires lk.Server.medMu .*lock-order 30.* while holding lk.Server.heapMu .*lock-order 40.*via lockMed`
+	s.heapMu.Unlock()
+}
+
+func (s *Server) lockMed() {
+	s.medMu.Lock()
+	s.medMu.Unlock()
+}
+
+// LockMut acquires the registry lock briefly, for cross-package callers.
+func (s *Server) LockMut() {
+	s.mutMu.Lock()
+	s.mutMu.Unlock()
+}
+
+// Mutator carries the safepoint boundary the holder rule keys on.
+type Mutator struct{}
+
+// Safepoint is the mutator's poll point.
+func (m *Mutator) Safepoint() {}
+
+// BadHold polls with a lock held: a stopped world queues behind aMu.
+func (s *Server) BadHold(m *Mutator) {
+	s.aMu.Lock()
+	m.Safepoint() // want `BadHold holds lk.Server.aMu across a safepoint boundary`
+	s.aMu.Unlock()
+}
+
+// GCHold is GC-side code: exempt from the holder rule.
+//
+//hcsgc:gc-thread
+func (s *Server) GCHold(m *Mutator) {
+	s.aMu.Lock()
+	m.Safepoint()
+	s.aMu.Unlock()
+}

@@ -1,0 +1,15 @@
+// Package sync stubs the stdlib surface the lockorder fixtures touch.
+package sync
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) Unlock()       {}
+func (m *Mutex) TryLock() bool { return true }
+
+type RWMutex struct{ state int }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

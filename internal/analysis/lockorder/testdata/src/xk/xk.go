@@ -1,0 +1,31 @@
+// Package xk holds its own ranked lock while calling into lk: the
+// resulting edge only exists module-wide, so only the module pass can
+// report it.
+package xk
+
+import (
+	"lk"
+	"sync"
+)
+
+// Pool guards a free list.
+type Pool struct {
+	// mu is declared above lk's registry lock in the global order.
+	//
+	//hcsgc:lock-order 30
+	mu sync.Mutex
+}
+
+// BadCross acquires lk's mutMu (order 20) under mu (order 30).
+func (p *Pool) BadCross(s *lk.Server) {
+	p.mu.Lock()
+	s.LockMut() // want `BadCross acquires lk.Server.mutMu .*lock-order 20.* while holding xk.Pool.mu .*lock-order 30.*via LockMut`
+	p.mu.Unlock()
+}
+
+// GoodCross holds nothing while calling over: silent.
+func (p *Pool) GoodCross(s *lk.Server) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	s.LockMut()
+}

@@ -55,7 +55,7 @@ func check(passes []*lintkit.Pass, crossOnly bool) error {
 					continue
 				}
 				if f, ok := p.TypesInfo.Defs[decl.Name].(*types.Func); ok && f != nil {
-					stw[funcKey(f)] = true
+					stw[lintkit.FuncKey(f)] = true
 				}
 			}
 		}
@@ -72,13 +72,13 @@ func check(passes []*lintkit.Pass, crossOnly bool) error {
 				return true
 			}
 			callee := lintkit.FuncOf(p.TypesInfo, call.Fun)
-			if callee == nil || callee.Pkg() == nil || !stw[funcKey(callee)] {
+			if callee == nil || callee.Pkg() == nil || !stw[lintkit.FuncKey(callee)] {
 				return true
 			}
 			if crossOnly == (callee.Pkg().Path() == p.Pkg.Path()) {
 				return true // the other pass owns this call
 			}
-			if lintkit.HasDirective(decl, "stw-only") || isPauseOwner(decl) {
+			if lintkit.HasDirective(decl, "stw-only") || lintkit.IsPauseOwner(decl) {
 				return true
 			}
 			p.Reportf(call.Pos(),
@@ -89,63 +89,4 @@ func check(passes []*lintkit.Pass, crossOnly bool) error {
 		})
 	}
 	return nil
-}
-
-// funcKey identifies a function across separately type-checked packages
-// (source-checked here, export-data there) by path, receiver and name.
-func funcKey(f *types.Func) string {
-	recv := ""
-	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
-		if n := recvTypeName(sig.Recv().Type()); n != "" {
-			recv = n + "."
-		}
-	}
-	return f.Pkg().Path() + "." + recv + f.Name()
-}
-
-func recvTypeName(t types.Type) string {
-	for {
-		switch u := t.(type) {
-		case *types.Pointer:
-			t = u.Elem()
-		case *types.Named:
-			return u.Obj().Name()
-		case *types.Alias:
-			t = types.Unalias(t)
-		default:
-			return ""
-		}
-	}
-}
-
-// isPauseOwner reports whether the function body both stops and resumes
-// the world. The match is by callee name — stopTheWorld, stopTheWorldTimed
-// and resumeTheWorld are the repo's pause primitives regardless of which
-// type they hang off — so the check stays robust across refactors of the
-// safepoint plumbing.
-func isPauseOwner(decl *ast.FuncDecl) bool {
-	var stops, resumes bool
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		var name string
-		switch fun := ast.Unparen(call.Fun).(type) {
-		case *ast.SelectorExpr:
-			name = fun.Sel.Name
-		case *ast.Ident:
-			name = fun.Name
-		default:
-			return true
-		}
-		switch name {
-		case "stopTheWorld", "stopTheWorldTimed", "StopTheWorld":
-			stops = true
-		case "resumeTheWorld", "ResumeTheWorld":
-			resumes = true
-		}
-		return true
-	})
-	return stops && resumes
 }

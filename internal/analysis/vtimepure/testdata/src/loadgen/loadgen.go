@@ -1,0 +1,60 @@
+// Package loadgen plays a virtual-time target package (the scope match
+// is on the final import-path segment).
+package loadgen
+
+import (
+	"math/rand"
+	"other"
+	"time"
+)
+
+// Tick reads the wall clock: forbidden here.
+func Tick() time.Time {
+	return time.Now() // want `Tick calls time.Now`
+}
+
+// Wait sleeps on the wall clock.
+func Wait() {
+	time.Sleep(1) // want `Wait calls time.Sleep`
+}
+
+// Jitter draws from the global math/rand stream.
+func Jitter() int64 {
+	return rand.Int63() // want `Jitter uses math/rand`
+}
+
+// Fold only accumulates commutatively and collects keys for sorting:
+// every range below is order-independent and must stay silent.
+func Fold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	inverse := make(map[int]string, len(m))
+	for k, v := range m {
+		inverse[v] = k
+	}
+	return total + len(keys) + len(inverse)
+}
+
+// Render builds ordered output straight from a map range.
+func Render(m map[string]int) string {
+	out := ""
+	for k := range m { // want `Render iterates a map in nondeterministic order`
+		out += k
+	}
+	return out
+}
+
+// Watchdog is deliberately wall-clock and declares it.
+//
+//hcsgc:wall-clock
+func Watchdog() time.Time { return time.Now() }
+
+// touch keeps the out-of-scope package loaded so the scope gate is
+// exercised: other.WallNow calls time.Now with no want comment.
+var _ = other.WallNow

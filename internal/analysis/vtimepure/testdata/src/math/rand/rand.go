@@ -1,0 +1,4 @@
+// Package rand stubs math/rand for the vtimepure fixtures.
+package rand
+
+func Int63() int64 { return 0 }

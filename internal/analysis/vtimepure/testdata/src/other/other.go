@@ -1,0 +1,8 @@
+// Package other sits outside the virtual-time discipline: wall-clock
+// reads here must stay silent.
+package other
+
+import "time"
+
+// WallNow may read the wall clock freely.
+func WallNow() time.Time { return time.Now() }

@@ -1,0 +1,12 @@
+// Package time stubs the stdlib surface the vtimepure fixtures touch.
+package time
+
+type Duration int64
+
+type Time struct{}
+
+func Now() Time             { return Time{} }
+func Since(t Time) Duration { return 0 }
+func Sleep(d Duration)      {}
+
+func (t Time) Sub(u Time) Duration { return 0 }

@@ -1,0 +1,15 @@
+package vtimepure_test
+
+import (
+	"testing"
+
+	"hcsgc/internal/analysis/lintkit"
+	"hcsgc/internal/analysis/vtimepure"
+)
+
+func TestVTimePure(t *testing.T) {
+	// Loading loadgen pulls in the out-of-scope package other, whose
+	// wall-clock call must stay silent (the scope gate), plus the time
+	// and math/rand stubs.
+	lintkit.RunFixture(t, "testdata", "loadgen", vtimepure.Analyzer)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -260,8 +261,15 @@ func WriteChaosReport(out io.Writer, res ChaosResult) {
 		for _, viol := range r.Violations {
 			fmt.Fprintf(out, "violation: %s\n", viol)
 		}
-		for point, n := range r.Fired {
-			fmt.Fprintf(out, "fired %s: %d\n", point, n)
+		// Deterministic report bytes: the same failed seed must print the
+		// same reproduction block every time.
+		points := make([]string, 0, len(r.Fired))
+		for point := range r.Fired {
+			points = append(points, point)
+		}
+		sort.Strings(points)
+		for _, point := range points {
+			fmt.Fprintf(out, "fired %s: %d\n", point, r.Fired[point])
 		}
 	}
 }

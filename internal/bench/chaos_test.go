@@ -94,3 +94,40 @@ func TestChaosReportCarriesReproducer(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosReportDeterministic pins the vtimepure fix in WriteChaosReport:
+// the fired-counts block used to iterate the Fired map directly, so the
+// same failed run printed its reproduction block in a different order on
+// every render. Identical inputs must produce identical report bytes.
+func TestChaosReportDeterministic(t *testing.T) {
+	res := ChaosResult{
+		Experiment: "fig4",
+		Workload:   "synthetic",
+		Failures:   1,
+		Runs: []ChaosRun{{
+			Seed:   7,
+			Config: 3,
+			Faults: "seed=7 fail-commit=0.010",
+			Violations: []hcsgc.HeapViolation{
+				{Check: "stale-ref", Phase: "stw2", Detail: "test"},
+			},
+			Fired: map[string]uint64{
+				"page-commit": 3, "overload-shed": 1, "deadline-expire": 2,
+				"barrier-mark": 9, "emergency-trigger": 4, "driver-trigger": 5,
+			},
+		}},
+	}
+	var first strings.Builder
+	WriteChaosReport(&first, res)
+	for i := 0; i < 20; i++ {
+		var again strings.Builder
+		WriteChaosReport(&again, res)
+		if again.String() != first.String() {
+			t.Fatalf("report bytes differ between renders:\n--- first\n%s\n--- again\n%s",
+				first.String(), again.String())
+		}
+	}
+	if !strings.Contains(first.String(), "fired barrier-mark: 9") {
+		t.Fatalf("fired block missing from report:\n%s", first.String())
+	}
+}

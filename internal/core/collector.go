@@ -56,13 +56,20 @@ type Collector struct {
 	// collector touches it, and only inside pauses.
 	pauseExtra uint64
 
+	// mutMu guards the attached-mutator set; taken inside cycleMu when a
+	// cycle walks the mutators.
+	//
+	//hcsgc:lock-order 20
 	mutMu sync.Mutex
 	muts  map[*Mutator]struct{}
 	// allocBytesClosed folds closed mutators' allocation ledgers so the
 	// signal plane's alloc-rate delta survives mutator churn. Under mutMu.
 	allocBytesClosed uint64
 
-	// Shared medium-page allocation (mutators and relocation).
+	// Shared medium-page allocation (mutators and relocation); leaf-side
+	// of the collector's locks, never held while taking mutMu or cycleMu.
+	//
+	//hcsgc:lock-order 30
 	medMu   sync.Mutex
 	medPage *heap.Page
 
@@ -76,7 +83,11 @@ type Collector struct {
 	// dropped at the end of the next mark, as in ZGC.
 	pendingDrop []*heap.Page
 
-	// cycleMu serializes GC cycles ("no overlapping ZGC cycles").
+	// cycleMu serializes GC cycles ("no overlapping ZGC cycles"). It is
+	// the outermost collector lock: a cycle holds it across STW pauses,
+	// which take mutMu and medMu underneath.
+	//
+	//hcsgc:lock-order 10
 	cycleMu sync.Mutex
 	cycles  atomic.Uint64
 

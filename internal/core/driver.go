@@ -10,7 +10,12 @@ import (
 // StartDriver launches the background GC trigger: a goroutine that starts
 // a cycle whenever heap occupancy reaches Config.TriggerPercent. It is the
 // analogue of ZGC's directed heuristics, reduced to the occupancy rule the
-// paper's workloads exercise.
+// paper's workloads exercise. The ticker is wall-clock by design: the
+// driver races real mutator threads, and the virtual timeline only
+// advances inside mutator work, so a virtual-time ticker would never fire
+// while the mutators are between operations.
+//
+//hcsgc:wall-clock
 func (c *Collector) StartDriver() {
 	if c.driverStop != nil {
 		return

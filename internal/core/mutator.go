@@ -238,25 +238,35 @@ func (m *Mutator) ClearAllocBudget() {
 	m.budgetStalls = 0
 }
 
+// budgetOver is the alloc-free predicate behind budgetExpired: it decides
+// whether the armed budget is exhausted at virtual time nowV (and whether
+// the fault injector forced the expiry) without materializing the error.
+// The split keeps the per-allocation budget check provably allocation-free
+// — the error value only exists on the failure path.
+//
+//hcsgc:alloc-free
+func (m *Mutator) budgetOver(nowV uint64) (over, forced bool) {
+	if nowV >= m.budgetDeadline {
+		return true, false
+	}
+	if m.budgetMaxStalls > 0 && m.budgetStalls >= m.budgetMaxStalls {
+		return true, false
+	}
+	if m.c.inj.ForceDeadline() {
+		return true, true
+	}
+	return false, false
+}
+
 // budgetExpired checks the armed per-request budget (caller guarantees it
 // is armed). The fault injector can force expiry, which is how the
 // zero-allocations-after-decision regression test drives this path.
 func (m *Mutator) budgetExpired(size uint64) *DeadlineExceededError {
 	now := m.VirtualCycles()
-	if now >= m.budgetDeadline {
+	if over, forced := m.budgetOver(now); over {
 		return &DeadlineExceededError{
 			Size: size, DeadlineV: m.budgetDeadline, NowV: now, Stalls: m.budgetStalls,
-		}
-	}
-	if m.budgetMaxStalls > 0 && m.budgetStalls >= m.budgetMaxStalls {
-		return &DeadlineExceededError{
-			Size: size, DeadlineV: m.budgetDeadline, NowV: now, Stalls: m.budgetStalls,
-		}
-	}
-	if m.c.inj.ForceDeadline() {
-		return &DeadlineExceededError{
-			Size: size, DeadlineV: m.budgetDeadline, NowV: now, Stalls: m.budgetStalls,
-			Forced: true,
+			Forced: forced,
 		}
 	}
 	return nil
@@ -345,11 +355,21 @@ func (m *Mutator) allocWords(sizeWords int, typeID uint16) (heap.Ref, error) {
 		return heap.NullRef, err
 	}
 	m.c.heap.StoreWord(m.core, addr, objmodel.EncodeHeader(sizeWords, typeID))
+	m.noteAlloc(size)
+	return heap.MakeRef(addr, m.c.Good()), nil
+}
+
+// noteAlloc charges the fixed allocation cost and feeds the signal
+// plane's allocation-rate ledger. Split out of allocWords so the
+// accounting tail of the allocation fast path is provably
+// allocation-free.
+//
+//hcsgc:alloc-free
+func (m *Mutator) noteAlloc(size uint64) {
 	m.extra.Add(m.c.cfg.Costs.Alloc)
 	if m.c.sig != nil {
 		m.allocBytes.Add(size)
 	}
-	return heap.MakeRef(addr, m.c.Good()), nil
 }
 
 // allocSmall bump-allocates from the TLAB, refilling on demand.
@@ -373,7 +393,12 @@ func (m *Mutator) allocSmall(size uint64, class heap.Class) (uint64, error) {
 // full (the mutator counts as stopped during the stall). When the retry
 // budget (Config.StallRetries) or deadline (Config.StallDeadline) runs out
 // without progress, it returns a structured *OutOfMemoryError instead of
-// panicking, so heap exhaustion unwinds as an ordinary error.
+// panicking, so heap exhaustion unwinds as an ordinary error. The stall
+// deadline and backoff are wall-clock by design: the stalled mutator is
+// waiting on the real collector threads to reclaim memory, and its own
+// virtual timeline is frozen for the duration of the stall.
+//
+//hcsgc:wall-clock
 func (m *Mutator) allocStall(size uint64, alloc func() (uint64, error)) (uint64, error) {
 	var start time.Time
 	var lastErr error

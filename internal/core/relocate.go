@@ -145,7 +145,9 @@ func (c *Collector) relocateObject(ctx *relocCtx, addr uint64, p *heap.Page) uin
 // remapForward returns the current address of an object that may live on a
 // previously evacuated page (mark-era remapping). During marking every EC
 // page of the previous era is fully relocated, so a live object's
-// forwarding entry always exists.
+// forwarding entry always exists. Barrier fast path: alloc-free.
+//
+//hcsgc:alloc-free
 func (c *Collector) remapForward(addr uint64, p *heap.Page) uint64 {
 	fwd := p.Forwarding()
 	if fwd == nil {

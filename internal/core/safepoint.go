@@ -173,6 +173,8 @@ func (s *safepoints) stuckLocked() []string {
 // timeline, so a virtual-cycle deadline could never fire. The pause keeps
 // waiting after the report; the watchdog turns a silent hang into a
 // diagnosable one, it does not abort the pause.
+//
+//hcsgc:wall-clock
 func (s *safepoints) stopTheWorld(watchdog time.Duration, onStall func(stuck []string, registered, stopped int)) {
 	s.requested.Store(true)
 	var timer *time.Timer

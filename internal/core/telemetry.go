@@ -93,7 +93,11 @@ func newColTelemetry(sink *telemetry.Sink) colTelemetry {
 // STW progress watchdog is armed here: if the handshake overruns
 // Config.STWWatchdog, a flight-recorder dump names the mutators not at
 // the safepoint (the pause keeps waiting — the watchdog diagnoses the
-// hang, it does not abort it).
+// hang, it does not abort it). Wall-clock deliberately: the sample
+// measures how long real mutator threads took to park, which is exactly
+// the quantity virtual time abstracts away.
+//
+//hcsgc:wall-clock
 func (c *Collector) stopTheWorldTimed(pause telemetry.SpanID) {
 	onStall := c.stwWatchdogReport(pause)
 	if !c.tm.enabled {

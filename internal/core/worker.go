@@ -112,10 +112,14 @@ func (c *Collector) remapStale(core *simmem.Core, raw heap.Ref) (addr uint64, wa
 // references reachable from them.
 //
 // Shared machinery: GC workers reach it from scanObject, mutators from
-// the barrier slow path (mark-assist), hence both annotations.
+// the barrier slow path (mark-assist), hence both annotations. Alloc-free:
+// this runs once per marked reference, from every worker and every
+// assisting mutator, so a Go allocation here multiplies across the whole
+// mark phase.
 //
 //hcsgc:gc-thread
 //hcsgc:barrier-impl
+//hcsgc:alloc-free
 func (c *Collector) markObject(core *simmem.Core, addr uint64, hot bool) (pushed bool, cost uint64) {
 	p := c.heap.PageOf(addr)
 	if p == nil {

@@ -291,6 +291,9 @@ func (inj *Injector) roll(p Point, threshold uint64) bool {
 
 // ForceShed reports whether the overload controller's next admission
 // decision should be forced to reject. A nil injector never forces.
+// Sits on the admit fast path: alloc-free.
+//
+//hcsgc:alloc-free
 func (inj *Injector) ForceShed() bool {
 	if inj == nil {
 		return false
@@ -300,7 +303,9 @@ func (inj *Injector) ForceShed() bool {
 
 // ForceDeadline reports whether an armed per-request allocation budget
 // should report expiry before touching the heap. A nil injector never
-// forces.
+// forces. Sits on the allocation fast path: alloc-free.
+//
+//hcsgc:alloc-free
 func (inj *Injector) ForceDeadline() bool {
 	if inj == nil {
 		return false

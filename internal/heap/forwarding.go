@@ -62,7 +62,9 @@ func (t *ForwardTable) Insert(off uint64, newAddr uint64) (addr uint64, won bool
 }
 
 // Lookup returns the forwarded address for off, or 0 if the object has not
-// been relocated (yet).
+// been relocated (yet). Remap fast path: alloc-free.
+//
+//hcsgc:alloc-free
 func (t *ForwardTable) Lookup(off uint64) uint64 {
 	key := off + 1
 	i := hashOffset(off) & t.mask

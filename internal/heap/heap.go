@@ -66,6 +66,10 @@ type Heap struct {
 	// seq numbers pages in allocation order.
 	seq atomic.Uint64
 
+	// mu is the page-allocator lock: innermost of the allocation
+	// hierarchy, never held while calling back out of the package.
+	//
+	//hcsgc:lock-order 40
 	mu    sync.Mutex
 	live  map[*Page]struct{} // active (non-freed) pages, for EC iteration
 	pools map[Class]*sync.Pool
@@ -239,7 +243,9 @@ func (h *Heap) DropPage(p *Page) {
 }
 
 // PageOf returns the page containing addr, or nil for addresses outside
-// any allocated page.
+// any allocated page. Barrier fast path: alloc-free.
+//
+//hcsgc:alloc-free
 func (h *Heap) PageOf(addr uint64) *Page {
 	g := addr / Granule
 	if g >= uint64(len(h.pageTable)) {
@@ -311,7 +317,10 @@ func (h *Heap) MaxBytes() uint64 { return h.cfg.MaxBytes }
 // feed the cache model and accumulate cycle costs on the right "hardware
 // thread". A nil core skips cache modelling (metadata-only paths).
 
-// LoadWord reads the 8-byte word at addr.
+// LoadWord reads the 8-byte word at addr. Every simulated heap read
+// funnels through here: alloc-free.
+//
+//hcsgc:alloc-free
 func (h *Heap) LoadWord(c *simmem.Core, addr uint64) uint64 {
 	p := h.PageOf(addr)
 	if p == nil {
@@ -324,6 +333,8 @@ func (h *Heap) LoadWord(c *simmem.Core, addr uint64) uint64 {
 }
 
 // StoreWord writes the 8-byte word at addr.
+//
+//hcsgc:alloc-free
 func (h *Heap) StoreWord(c *simmem.Core, addr uint64, v uint64) {
 	p := h.PageOf(addr)
 	if p == nil {

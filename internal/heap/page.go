@@ -118,12 +118,16 @@ func (p *Page) Size() uint64 { return p.size }
 func (p *Page) End() uint64 { return p.start + p.size }
 
 // Class returns the page's size class.
+//
+//hcsgc:alloc-free
 func (p *Page) Class() Class { return p.class }
 
 // Contains reports whether addr falls inside the page.
 func (p *Page) Contains(addr uint64) bool { return addr >= p.start && addr < p.End() }
 
 // WordIndex converts a simulated address within the page to a word offset.
+//
+//hcsgc:alloc-free
 func (p *Page) WordIndex(addr uint64) uint64 { return (addr - p.start) / WordSize }
 
 // AllocRaw bump-allocates size bytes (word aligned), returning the object
@@ -189,7 +193,9 @@ func (p *Page) casWord(idx uint64, old, new uint64) bool {
 
 // MarkLive sets the live bit for the object at addr of the given byte
 // size; returns true if this call marked it (first marker wins and
-// accounts the live bytes).
+// accounts the live bytes). Parallel-mark hot path: alloc-free.
+//
+//hcsgc:alloc-free
 func (p *Page) MarkLive(addr, size uint64) bool {
 	if !p.livemap.TestAndSet(int(p.WordIndex(addr))) {
 		return false
@@ -206,7 +212,9 @@ func (p *Page) IsLive(addr uint64) bool {
 
 // MarkHot sets the hot bit for the object at addr (paper §3.1.2); returns
 // true if this call set it, in which case the caller's size is added to
-// the page's hot bytes.
+// the page's hot bytes. Barrier/mark hot path: alloc-free.
+//
+//hcsgc:alloc-free
 func (p *Page) MarkHot(addr, size uint64) bool {
 	if !p.hotmap.TestAndSet(int(p.WordIndex(addr))) {
 		return false
@@ -278,6 +286,8 @@ func (p *Page) InEC() bool { return p.inEC.Load() }
 
 // Forwarding returns the page's forwarding table, or nil when the page is
 // not (or no longer) an evacuation candidate of the current era.
+//
+//hcsgc:alloc-free
 func (p *Page) Forwarding() *ForwardTable { return p.fwd.Load() }
 
 // ObjectRelocated decrements the not-yet-relocated count and reports

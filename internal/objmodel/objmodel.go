@@ -39,6 +39,9 @@ func DecodeHeader(h uint64) (sizeWords int, typeID uint16) {
 }
 
 // SizeBytes returns the object's total byte size from its header word.
+// Mark-loop hot path: alloc-free.
+//
+//hcsgc:alloc-free
 func SizeBytes(h uint64) uint64 {
 	return uint64(h&sizeMask) * heap.WordSize
 }

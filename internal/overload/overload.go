@@ -253,6 +253,10 @@ type Controller struct {
 	// in state s, precomputed so Admit is one compare.
 	shedThresh [NumStates][NumPriorities]uint64
 
+	// mu guards the poll-side state; the poller reads the signal plane
+	// while holding it, so it sits above Plane.mu in the global order.
+	//
+	//hcsgc:lock-order 50
 	mu            sync.Mutex
 	calmPolls     int
 	headroomOn    bool
@@ -428,22 +432,33 @@ func (ctrl *Controller) Admit(pri Priority, seq uint64) error {
 		return nil
 	}
 	ctrl.inj.At(faultinject.OverloadShed, seq)
-	if ctrl.inj.ForceShed() {
-		ctrl.stats.recordShed(pri, true)
-		return &Error{State: State(ctrl.state.Load()), Priority: pri, Seq: seq, Forced: true}
-	}
-	st := State(ctrl.state.Load())
-	if st == StateNormal {
-		ctrl.stats.recordAdmit()
-		return nil
-	}
-	th := ctrl.shedThresh[st][pri]
-	if th != 0 && mix(uint64(ctrl.pol.Seed), seq) < th {
-		ctrl.stats.recordShed(pri, false)
-		return &Error{State: st, Priority: pri, Seq: seq}
+	st, forced, shed := ctrl.shedDecision(pri, seq)
+	if shed {
+		ctrl.stats.recordShed(pri, forced)
+		return &Error{State: st, Priority: pri, Seq: seq, Forced: forced}
 	}
 	ctrl.stats.recordAdmit()
 	return nil
+}
+
+// shedDecision is the alloc-free core of Admit: the pure
+// (state, forced, shed) verdict for request seq at priority pri. The
+// split keeps the admit check on the request fast path provably
+// allocation-free — the *Error is only materialized for the shed
+// minority. The injection-point visit stays in Admit: hooks may run
+// arbitrary test code.
+//
+//hcsgc:alloc-free
+func (ctrl *Controller) shedDecision(pri Priority, seq uint64) (st State, forced, shed bool) {
+	st = State(ctrl.state.Load())
+	if ctrl.inj.ForceShed() {
+		return st, true, true
+	}
+	if st == StateNormal {
+		return st, false, false
+	}
+	th := ctrl.shedThresh[st][pri]
+	return st, false, th != 0 && mix(uint64(ctrl.pol.Seed), seq) < th
 }
 
 // BindTelemetry registers the controller's state gauge and delegates to

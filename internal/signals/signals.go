@@ -218,6 +218,10 @@ type ewmaState struct {
 type Plane struct {
 	cfg Config
 
+	// mu guards the ring; taken from under the collector's cycle path
+	// and the overload poller, so it ranks below every caller's lock.
+	//
+	//hcsgc:lock-order 60
 	mu     sync.Mutex
 	ring   []CycleSignals
 	next   int

@@ -86,6 +86,8 @@ func (c *Cache) setOf(ln uint64) uint64 { return (ln - 1) & c.setMask }
 
 // Access looks up addr, returns true on hit. On miss the line is installed,
 // evicting the LRU way of its set.
+//
+//hcsgc:alloc-free
 func (c *Cache) Access(addr uint64) bool {
 	hit := c.touch(line(addr), false)
 	if hit {
@@ -120,6 +122,8 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // Prefetch installs addr's line if absent, without counting a demand hit or
 // miss. Returns true if the line was newly installed.
+//
+//hcsgc:alloc-free
 func (c *Cache) Prefetch(addr uint64) bool {
 	installed := !c.touch(line(addr), true)
 	if installed {

@@ -127,13 +127,17 @@ func (h *Hierarchy) NewCore() *Core {
 
 // Load simulates a demand load of the given byte range [addr, addr+size)
 // and returns its cost in cycles. Ranges crossing line boundaries touch
-// each line once.
+// each line once. Runs on every simulated heap access: alloc-free.
+//
+//hcsgc:alloc-free
 func (c *Core) Load(addr uint64, size int) uint64 {
 	return c.access(addr, size, false)
 }
 
 // Store simulates a demand store. The model is write-allocate,
 // write-back, so the cost model is the same as a load.
+//
+//hcsgc:alloc-free
 func (c *Core) Store(addr uint64, size int) uint64 {
 	return c.access(addr, size, true)
 }

@@ -17,6 +17,11 @@ type Prefetcher struct {
 	depth   int // lines prefetched ahead once a stream is confirmed
 	clock   uint64
 	issued  atomic.Uint64 // prefetch requests issued
+	// buf is the reused OnMiss return buffer: OnMiss runs on every L1
+	// demand miss, so allocating the target slice per miss would put a
+	// Go allocation on the simulator's hottest path. The returned slice
+	// aliases buf and is only valid until the next OnMiss call.
+	buf []uint64
 }
 
 // stream is one tracked miss stream.
@@ -39,9 +44,13 @@ const confirmThreshold = 2
 // NewPrefetcher returns a stream prefetcher that runs depth lines ahead.
 // depth <= 0 disables prefetching.
 func NewPrefetcher(depth int) *Prefetcher {
+	if depth < 0 {
+		depth = 0
+	}
 	return &Prefetcher{
 		streams: make([]stream, maxStreams),
 		depth:   depth,
+		buf:     make([]uint64, depth),
 	}
 }
 
@@ -50,7 +59,10 @@ func (p *Prefetcher) Enabled() bool { return p != nil && p.depth > 0 }
 
 // OnMiss informs the prefetcher of a demand miss at addr and returns the
 // line-aligned addresses that should be prefetched as a consequence
-// (possibly none). The caller installs them into its caches.
+// (possibly none). The caller installs them into its caches. The returned
+// slice aliases an internal buffer and is invalidated by the next OnMiss.
+//
+//hcsgc:alloc-free
 func (p *Prefetcher) OnMiss(addr uint64) []uint64 {
 	if !p.Enabled() {
 		return nil
@@ -103,17 +115,18 @@ func (p *Prefetcher) OnMiss(addr uint64) []uint64 {
 	if s.confid < confirmThreshold {
 		return nil
 	}
-	out := make([]uint64, 0, p.depth)
+	n := 0
 	next := ln
 	for i := 0; i < p.depth; i++ {
 		next += s.stride
 		if next <= 0 {
 			break
 		}
-		out = append(out, uint64(next)<<lineShift)
+		p.buf[n] = uint64(next) << lineShift
+		n++
 	}
-	p.issued.Add(uint64(len(out)))
-	return out
+	p.issued.Add(uint64(n))
+	return p.buf[:n]
 }
 
 // Issued returns the number of prefetch requests issued.

@@ -173,3 +173,52 @@ func TestStreamSurvivesInterleavedNoise(t *testing.T) {
 		t.Fatalf("target %#x, want %#x", last[0], want)
 	}
 }
+
+// TestOnMissZeroAllocations pins the alloc-free contract on the hottest
+// simulator path: OnMiss runs on every L1 demand miss, and it used to
+// allocate its target slice per confirmed miss. The fix reuses an
+// internal buffer; this guards against the regression.
+func TestOnMissZeroAllocations(t *testing.T) {
+	p := NewPrefetcher(4)
+	// Confirm a +1-line stream so the prefetch-issuing branch is the one
+	// being measured.
+	line := uint64(0x1000)
+	for i := 0; i < 4; i++ {
+		p.OnMiss(line)
+		line += LineSize
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.OnMiss(line)
+		line += LineSize
+	})
+	if allocs != 0 {
+		t.Fatalf("OnMiss allocated %.1f objects per confirmed miss; want 0", allocs)
+	}
+}
+
+// TestOnMissBufferReuse documents the aliasing contract: the slice
+// returned by OnMiss is only valid until the next call.
+func TestOnMissBufferReuse(t *testing.T) {
+	p := NewPrefetcher(2)
+	line := uint64(0x1000)
+	var first []uint64
+	for i := 0; i < 8 && len(first) == 0; i++ {
+		first = p.OnMiss(line)
+		line += LineSize
+	}
+	if len(first) == 0 {
+		t.Fatal("stream never confirmed")
+	}
+	want := first[0]
+	var second []uint64
+	for i := 0; i < 8 && len(second) == 0; i++ {
+		second = p.OnMiss(line)
+		line += LineSize
+	}
+	if len(second) == 0 {
+		t.Fatal("stream lost confirmation")
+	}
+	if first[0] == want && &first[0] != &second[0] {
+		t.Fatal("OnMiss stopped reusing its buffer; update the aliasing contract docs")
+	}
+}
