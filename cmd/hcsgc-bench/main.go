@@ -56,6 +56,10 @@ func main() {
 		overloadJSON   = flag.String("overload-json", "", "also write the overload A/B report as JSON to this file")
 		overloadFactor = flag.Float64("overload-factor", 0, "arrival-rate multiplier past sustainable for -overload-report (0 = default 2)")
 
+		scaleSweep    = flag.Bool("scale-sweep", false, "run the many-core scaling sweep instead: fig4 + KV across -sweep-mutators with a fresh contention plane per run, USL fit (sigma = contention, kappa = crosstalk) and ranked contention tables")
+		sweepMutators = flag.String("sweep-mutators", "1,2,4,8,16,64", "comma-separated mutator counts for -scale-sweep")
+		scalingJSON   = flag.String("scaling-json", "", "also write the scaling sweep report as JSON to this file")
+
 		benchOut     = flag.String("bench-out", "", "write the normalized benchmark artifact (BENCH_<exp>.json shape) to this file; supported by -kv-report and -overload-report")
 		benchCompare = flag.String("bench-compare", "", "compare the run against this committed baseline artifact; >10% regressions print warnings without failing")
 
@@ -119,6 +123,13 @@ func main() {
 	if *tailMode {
 		if err := runTail(*runs, *scale, *seed, *configs, *tailSLO, *tailJSON, *quiet, sink); err != nil {
 			fmt.Fprintf(os.Stderr, "hcsgc-bench: tail: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaleSweep {
+		if err := runScaleSweep(*sweepMutators, *scale, *seed, *scalingJSON, *benchOut, *benchCompare, *quiet, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "hcsgc-bench: scaling: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -194,6 +205,7 @@ func writeList(w io.Writer) {
 		{"-kv-report", "KV serving A/B: open-loop request latency percentiles and SLO curves per traffic phase"},
 		{"-tail-report", "KV tail-attribution A/B: p99 violations by cause, linked to responsible GC cycles"},
 		{"-overload-report", "KV overload A/B: past-sustainable load, unprotected vs admission control + deadline shedding"},
+		{"-scale-sweep", "many-core scaling sweep: fig4 + KV across mutator counts, USL fit and ranked contention tables"},
 		{"-chaos", "chaos soak: seeded fault schedules with the STW heap verifier"},
 	} {
 		fmt.Fprintf(w, "  %-16s %s\n", m.flag, m.desc)
@@ -508,6 +520,71 @@ func runOverload(runs int, scale float64, seed int64, configs string, factor flo
 	}
 	if benchOut != "" || benchCompare != "" {
 		art := bench.OverloadArtifact(ab)
+		if benchOut != "" {
+			f, err := os.Create(benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteArtifact(f, art); err != nil {
+				return err
+			}
+		}
+		if benchCompare != "" {
+			baseline, err := bench.ReadArtifactFile(benchCompare)
+			if err != nil {
+				return err
+			}
+			warns := bench.CompareArtifacts(baseline, art, 0.10)
+			for _, w := range warns {
+				fmt.Fprintf(os.Stderr, "hcsgc-bench: baseline warning: %s\n", w)
+			}
+			if len(warns) == 0 {
+				fmt.Fprintf(os.Stderr, "hcsgc-bench: all metrics within 10%% of baseline %s\n", benchCompare)
+			}
+		}
+	}
+	return nil
+}
+
+// runScaleSweep runs the -scale-sweep mode: the scaling workloads across
+// the -sweep-mutators ladder with a fresh contention plane per run,
+// printing the throughput/speedup ladder, USL coefficients and ranked
+// contention tables, and optionally writing the JSON report and the
+// normalized BENCH_scaling.json artifact CI uploads.
+func runScaleSweep(mutators string, scale float64, seed int64, jsonPath, benchOut, benchCompare string, quiet bool, sink *hcsgc.TelemetrySink) error {
+	var muts []int
+	if mutators != "" {
+		ids, err := parseConfigs(mutators)
+		if err != nil {
+			return fmt.Errorf("-sweep-mutators: %w", err)
+		}
+		muts = ids
+	}
+	progress := bench.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	sweep, err := bench.RunScaleSweep(muts, scale, seed, sink, progress)
+	if err != nil {
+		return err
+	}
+	if err := bench.ValidateScaleSweep(sweep); err != nil {
+		return err
+	}
+	bench.WriteScalingReport(os.Stdout, sweep)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteScalingJSON(f, sweep); err != nil {
+			return err
+		}
+	}
+	if benchOut != "" || benchCompare != "" {
+		art := bench.ScalingArtifact(sweep)
 		if benchOut != "" {
 			f, err := os.Create(benchOut)
 			if err != nil {

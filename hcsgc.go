@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"hcsgc/internal/contention"
 	"hcsgc/internal/core"
 	"hcsgc/internal/faultinject"
 	"hcsgc/internal/heap"
@@ -115,6 +116,15 @@ type (
 	CycleSignals = signals.CycleSignals
 	// SignalsSnapshot is the /signals endpoint payload.
 	SignalsSnapshot = signals.Snapshot
+	// ContentionPlane is the contention & scalability attribution plane:
+	// per-site lock acquisition/contended counts and wait histograms,
+	// CAS retry profiling, and GC-worker balance (see
+	// internal/contention). On by default; Options.DisableContention
+	// turns it off. Its ranked snapshot is the serialization list
+	// ROADMAP item 1's sharding work starts from.
+	ContentionPlane = contention.Plane
+	// ContentionSnapshot is the /contention endpoint payload.
+	ContentionSnapshot = contention.Snapshot
 	// TailAttributor classifies SLO-violating requests by cause
 	// (stw-pause / alloc-stall / queued-behind-stall / service) and links
 	// them to the responsible cycle's CycleSignals record.
@@ -209,6 +219,11 @@ func NewLatencyTracker(cfg LatencyConfig) *LatencyTracker { return latency.New(c
 // DisableSignals) creates a default plane itself.
 func NewSignalPlane(cfg SignalsConfig) *SignalPlane { return signals.New(cfg) }
 
+// NewContentionPlane builds a contention plane. Pass it via
+// Options.Contention to share one plane across runtimes; a runtime
+// without one (and without DisableContention) creates its own.
+func NewContentionPlane() *ContentionPlane { return contention.New() }
+
 // NewTailAttributor builds a request-level tail attributor. Serving
 // harnesses create per-thread classifiers from it via
 // TailAttributor.Classifier(rt.Signals).
@@ -274,6 +289,14 @@ type Options struct {
 	// DisableSignals turns the signal plane off entirely (the cycle
 	// boundary and each allocation then cost one predictable branch).
 	DisableSignals bool
+	// Contention overrides the contention attribution plane. Nil = the
+	// runtime builds one; the plane is always-on unless
+	// DisableContention is set.
+	Contention *ContentionPlane
+	// DisableContention turns the contention plane off entirely (every
+	// instrumented lock then behaves as a bare sync.Mutex plus one
+	// predictable branch per operation).
+	DisableContention bool
 	// FaultInjector arms the fault-injection plane (nil = disarmed; each
 	// injection point then costs one predictable branch).
 	FaultInjector *FaultInjector
@@ -306,6 +329,9 @@ type Runtime struct {
 	Latency *LatencyTracker
 	// Signals is the runtime's signal plane; nil when DisableSignals.
 	Signals *SignalPlane
+	// Contention is the runtime's contention attribution plane; nil when
+	// DisableContention.
+	Contention *ContentionPlane
 
 	mu       sync.Mutex
 	mutators []*Mutator
@@ -314,6 +340,13 @@ type Runtime struct {
 
 // NewRuntime builds a runtime from options.
 func NewRuntime(opts Options) (*Runtime, error) {
+	ctn := opts.Contention
+	if ctn == nil && !opts.DisableContention {
+		ctn = contention.New()
+	}
+	if opts.DisableContention {
+		ctn = nil
+	}
 	var mem *simmem.Hierarchy
 	if !opts.DisableMemModel {
 		cfg := simmem.DefaultConfig()
@@ -325,11 +358,15 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ctn != nil {
+			mem.SetContention(ctn)
+		}
 	}
 	h := heap.New(heap.Config{
 		MaxBytes:        opts.HeapMaxBytes,
 		EnableTinyClass: opts.Knobs.TinyPages,
 		Injector:        opts.FaultInjector,
+		Contention:      ctn,
 	}, mem)
 	h.SetRecorder(opts.Telemetry.Recorder())
 	if opts.Verifier != nil {
@@ -363,6 +400,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		Locality:       opts.Locality,
 		Latency:        lat,
 		Signals:        sig,
+		Contention:     ctn,
 		FaultInjector:  opts.FaultInjector,
 		StallRetries:   opts.StallRetries,
 		StallBackoff:   opts.StallBackoff,
@@ -392,18 +430,29 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		plane := sig
 		opts.Telemetry.SetSignals(func() any { return plane.Snapshot() })
 	}
+	if ctn != nil && opts.Telemetry != nil {
+		// The registry and recorder cannot adopt contention.Mutex (import
+		// cycle through telemetry/latency); they self-report as sources.
+		reg, rec := opts.Telemetry.Metrics(), opts.Telemetry.Recorder()
+		ctn.AddSource("telemetry.registryMu", func() (uint64, uint64) { return reg.MuStats() })
+		ctn.AddSource("telemetry.recorderShards", func() (uint64, uint64) { return rec.MuStats() })
+		ctn.BindTelemetry(reg, rec)
+		cplane := ctn
+		opts.Telemetry.SetContention(func() any { return cplane.Snapshot() })
+	}
 	mach := opts.Machine
 	if mach.Cores == 0 {
 		mach = LaptopMachine
 	}
 	rt := &Runtime{
-		Heap:      h,
-		Collector: col,
-		Mem:       mem,
-		Types:     types,
-		Machine:   mach,
-		Latency:   lat,
-		Signals:   sig,
+		Heap:       h,
+		Collector:  col,
+		Mem:        mem,
+		Types:      types,
+		Machine:    mach,
+		Latency:    lat,
+		Signals:    sig,
+		Contention: ctn,
 	}
 	if opts.StartDriver {
 		col.StartDriver()

@@ -1,0 +1,72 @@
+// Package ctn mirrors the contention.Mutex fast path: the lock wrapper
+// must stay provably allocation-free, with time.Now/time.Since on the
+// allowlist for contended-wait attribution and the wait-histogram
+// record behind an annotated boundary.
+package ctn
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// site mirrors contention.site: two counters and a wait recorder.
+type site struct {
+	acquisitions atomic.Uint64
+	contended    atomic.Uint64
+	waits        []uint64
+}
+
+// record stands in for latency.Hist.Record, which carries the
+// annotation in the real tree.
+//
+//hcsgc:alloc-free
+func record(s *site, d time.Duration) { _ = d }
+
+// Mutex mirrors the wrapper: an inner lock plus an optional site.
+type Mutex struct {
+	inner sync.Mutex
+	site  *site
+}
+
+// Lock is the shape the wrapper ships: one TryLock plus two atomic
+// adds, wall-clock reads on the contended path only, an annotated
+// recorder boundary. The pass must prove it clean.
+//
+//hcsgc:alloc-free
+func (m *Mutex) Lock() {
+	s := m.site
+	if s == nil {
+		m.inner.Lock()
+		return
+	}
+	s.acquisitions.Add(1)
+	if m.inner.TryLock() {
+		return
+	}
+	s.contended.Add(1)
+	t0 := time.Now()
+	m.inner.Lock()
+	record(s, time.Since(t0))
+}
+
+// Unlock releases; trivially clean.
+//
+//hcsgc:alloc-free
+func (m *Mutex) Unlock() { m.inner.Unlock() }
+
+// BadFormat leaves the clock allowlist: Now and Since are admitted,
+// any other time callee is a cross-package boundary violation.
+//
+//hcsgc:alloc-free
+func BadFormat(t0 time.Time) string {
+	return t0.String() // want `neither //hcsgc:alloc-free nor on the`
+}
+
+// BadWaitLog buffers the wait sample on the fast path instead of
+// handing it to the annotated recorder.
+//
+//hcsgc:alloc-free
+func BadWaitLog(s *site, d time.Duration) {
+	s.waits = append(s.waits, uint64(d)) // want `allocates: append may grow`
+}

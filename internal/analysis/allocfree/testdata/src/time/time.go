@@ -1,0 +1,15 @@
+// Package time stubs the clock reads the allocfree allowlist admits
+// (Now and Since return stack values) plus a formatter that is
+// deliberately off the allowlist, so fixtures can probe the boundary.
+package time
+
+type Time struct{ ns int64 }
+
+type Duration int64
+
+func Now() Time { return Time{} }
+
+func Since(t Time) Duration { return Duration(-t.ns) }
+
+// String is not allowlisted: formatting belongs off the fast path.
+func (t Time) String() string { return "" }

@@ -1,0 +1,67 @@
+// Package cn proves lockorder sees through contention.Mutex: the
+// instrumented wrapper (matched by import-path tail, so the core
+// mutexes keep their ranks after the type swap) acquires and releases
+// exactly like sync.Mutex, including mixed edges between the flavours.
+package cn
+
+import (
+	"contention"
+	"sync"
+)
+
+// Collector mirrors the core collector after the wrapper adoption:
+// ranked contention.Mutex fields next to a plain sync.Mutex.
+type Collector struct {
+	// cycleMu serializes collection cycles; taken first.
+	//
+	//hcsgc:lock-order 10
+	cycleMu contention.Mutex
+
+	// medMu guards the mark-era descriptor under cycleMu.
+	//
+	//hcsgc:lock-order 25
+	medMu sync.Mutex
+
+	// heapMu guards page tables; innermost.
+	//
+	//hcsgc:lock-order 40
+	heapMu contention.Mutex
+}
+
+// Good descends the declared order through both flavours: silent.
+func (c *Collector) Good() {
+	c.cycleMu.Lock()
+	c.medMu.Lock()
+	c.heapMu.Lock()
+	c.heapMu.Unlock()
+	c.medMu.Unlock()
+	c.cycleMu.Unlock()
+}
+
+// TryDescend: TryLock through the wrapper is an acquire too, and a
+// downward one stays silent.
+func (c *Collector) TryDescend() {
+	c.cycleMu.Lock()
+	if c.heapMu.TryLock() {
+		c.heapMu.Unlock()
+	}
+	c.cycleMu.Unlock()
+}
+
+// BadWrapped inverts two wrapper locks: the analyzer must name the
+// declaring fields, not the wrapper type.
+func (c *Collector) BadWrapped() {
+	c.heapMu.Lock()
+	c.cycleMu.Lock() // want `BadWrapped acquires cn.Collector.cycleMu .*lock-order 10.* while holding cn.Collector.heapMu .*lock-order 40`
+	c.cycleMu.Unlock()
+	c.heapMu.Unlock()
+}
+
+// BadMixed acquires a wrapped lock below a plain sync.Mutex ranked
+// above it: both flavours share one global order.
+func (c *Collector) BadMixed() {
+	c.medMu.Lock()
+	c.cycleMu.Lock() // want `BadMixed acquires cn.Collector.cycleMu .*lock-order 10.* while holding cn.Collector.medMu .*lock-order 25`
+	c.cycleMu.Unlock()
+	c.medMu.Unlock()
+}

@@ -1,0 +1,14 @@
+// Package contention stubs the instrumented-mutex wrapper for the
+// lockorder fixtures: lintkit.MutexOp matches the import path's last
+// segment, so this GOPATH-layout stub stands in for
+// hcsgc/internal/contention. Bodies stay empty so the stub itself
+// contributes no lock operations of its own.
+package contention
+
+// Mutex mirrors the wrapper surface lockorder classifies: Lock and
+// TryLock acquire, Unlock releases.
+type Mutex struct{ _ int }
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) Unlock()       {}
+func (m *Mutex) TryLock() bool { return false }

@@ -108,4 +108,34 @@ func register(reg *telemetry.Registry, suffix string) {
 	reg.Gauge("hcsgc_overload_success_cycles", "Latency.")                   // want `registered as Gauge here but as Summary`
 	reg.Gauge("hcsgc_overload_sheds_total", "Not a counter.")                // want `registered as Gauge here but as Counter`
 	reg.Summary("hcsgc_overload_state_count", "Reserved.", nil)              // want `reserved suffix "_count"`
+
+	// The contention-plane families (internal/contention.Plane): per-site
+	// acquisition/contended counters, CAS retry counters keyed by
+	// structure, the wait summary, and the per-worker balance counters
+	// with the imbalance gauge — legal multi-site registration with
+	// shared kind and help across label values.
+	reg.Counter("hcsgc_contention_acquisitions_total", "Lock acquisitions by site.", "site", "core.cycleMu")
+	reg.Counter("hcsgc_contention_acquisitions_total", "Lock acquisitions by site.", "site", "heap.mu")
+	reg.Counter("hcsgc_contention_contended_total", "Contended acquisitions by site.", "site", "core.cycleMu")
+	reg.Counter("hcsgc_contention_contended_total", "Contended acquisitions by site.", "site", "simmem.llcMu")
+	reg.Counter("hcsgc_contention_cas_ops_total", "CAS attempts by structure.", "structure", "heap.forwarding")
+	reg.Counter("hcsgc_contention_cas_retries_total", "CAS retries by structure.", "structure", "heap.forwarding")
+	reg.Summary("hcsgc_contention_wait_ns", "Contended wait time.", nil, "site", "core.cycleMu")
+	reg.Counter("hcsgc_worker_scanned_total", "Objects scanned per GC worker.", "worker", "0")
+	reg.Counter("hcsgc_worker_scanned_total", "Objects scanned per GC worker.", "worker", "1")
+	reg.Counter("hcsgc_worker_busy_cycles_total", "Busy virtual cycles per GC worker.", "worker", "0")
+	reg.Gauge("hcsgc_worker_imbalance", "Coefficient of variation of per-worker work.")
+
+	// The scaling-sweep families (internal/bench.RunScaleSweep): gauges
+	// keyed by workload and mutator count, plus per-workload USL fits.
+	reg.Gauge("hcsgc_scaling_throughput", "Sweep throughput.", "workload", "fig4", "mutators", "8")
+	reg.Gauge("hcsgc_scaling_throughput", "Sweep throughput.", "workload", "kv", "mutators", "8")
+	reg.Gauge("hcsgc_scaling_speedup", "Sweep speedup over one mutator.", "workload", "fig4", "mutators", "8")
+	reg.Gauge("hcsgc_scaling_usl_sigma", "USL contention coefficient.", "workload", "kv")
+
+	// Divergence across sites of the same family stays a violation.
+	reg.Counter("hcsgc_contention_contended_total", "Contended locks.", "site", "heap.mu") // want `registered with different help text`
+	reg.Gauge("hcsgc_contention_wait_ns", "Contended wait time.")                          // want `registered as Gauge here but as Summary`
+	reg.Gauge("hcsgc_worker_scanned_total", "Not a counter.")                              // want `registered as Gauge here but as Counter`
+	reg.Counter("hcsgc_scaling_usl_count", "Reserved.")                                    // want `reserved suffix "_count"`
 }

@@ -1,0 +1,194 @@
+// Package contention is the contention & scalability attribution plane:
+// it answers "where does the collector serialize?" so ROADMAP item 1's
+// sharding work starts from a ranked list instead of a hunch.
+//
+// Three kinds of serialization are attributed:
+//
+//   - Lock contention. The named hot locks (core.cycleMu, core.mutMu,
+//     heap.mu, the simmem LLC/core registries, ...) are wrapped in
+//     contention.Mutex, which records per-site acquisition counts,
+//     contended-acquisition counts, and a wait-time HDR histogram. The
+//     uncontended fast path is one TryLock plus two atomic adds; only a
+//     lost TryLock pays for a clock read and a histogram record.
+//
+//   - CAS retry loops. OpSite counters attach to the known shared-
+//     structure loops (forwarding-table install, page bump-pointer
+//     allocation, markPool transfers) and separate attempts from retries
+//     per structure.
+//
+//   - GC-worker imbalance. The collector reports per-worker cumulative
+//     scanned/relocated/stolen counts and busy virtual cycles once per
+//     GC cycle; the plane turns them into per-cycle deltas and an
+//     imbalance coefficient (coefficient of variation of per-worker
+//     work).
+//
+// Like the signal plane, the contention plane is always on unless opted
+// out; every recording primitive is nil-safe so a disabled plane costs
+// one predictable branch per site. Wait times are wall-clock nanoseconds
+// (the simulated clock does not advance while a goroutine is parked in
+// the Go scheduler), which is why this package — unlike core/signals —
+// is exempt from the vtimepure analyzer.
+package contention
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcsgc/internal/telemetry/latency"
+)
+
+// Site accumulates lock-contention statistics for one named mutex (or
+// one external source bridged via Plane.AddSource). All fields are
+// updated lock-free; a nil *Site accepts every call as a no-op.
+type Site struct {
+	name         string
+	acquisitions atomic.Uint64
+	contended    atomic.Uint64
+	// wait records the wall-clock nanoseconds a contended Lock spent
+	// parked before acquiring.
+	wait latency.Hist
+}
+
+// Name returns the site's registration name.
+func (s *Site) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Acquisitions returns the total Lock/TryLock acquisitions recorded.
+func (s *Site) Acquisitions() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.acquisitions.Load()
+}
+
+// Contended returns the acquisitions that lost their TryLock and had to
+// block.
+func (s *Site) Contended() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.contended.Load()
+}
+
+// Wait exposes the contended-wait histogram (nanoseconds) for summary
+// export. Returns nil on a nil site.
+func (s *Site) Wait() *latency.Hist {
+	if s == nil {
+		return nil
+	}
+	return &s.wait
+}
+
+// Mutex is sync.Mutex plus per-site contention attribution. The zero
+// value is a valid uninstrumented mutex; Instrument attaches a Site
+// before any concurrent use. Lock-order ranks (//hcsgc:lock-order) are
+// carried by the declaring field exactly as with sync.Mutex — the
+// lockorder analyzer treats this type as a mutex.
+type Mutex struct {
+	inner sync.Mutex
+	site  *Site
+}
+
+// Instrument attaches the attribution site. Must happen-before any
+// concurrent Lock (it is a plain store); called from constructors.
+func (m *Mutex) Instrument(s *Site) { m.site = s }
+
+// Lock acquires the mutex, attributing the acquisition to the site.
+// Uncontended cost over sync.Mutex: one failed-then-won TryLock plus one
+// atomic add. The clock is read only on the contended slow path.
+//
+//hcsgc:alloc-free
+func (m *Mutex) Lock() {
+	s := m.site
+	if s == nil {
+		m.inner.Lock()
+		return
+	}
+	s.acquisitions.Add(1)
+	if m.inner.TryLock() {
+		return
+	}
+	s.contended.Add(1)
+	t0 := time.Now()
+	m.inner.Lock()
+	s.wait.Record(uint64(time.Since(t0)))
+}
+
+// TryLock attempts the lock without blocking, counting only successful
+// acquisitions (a failed TryLock is the caller's contention-avoidance
+// strategy working, not a wait).
+//
+//hcsgc:alloc-free
+func (m *Mutex) TryLock() bool {
+	if !m.inner.TryLock() {
+		return false
+	}
+	if s := m.site; s != nil {
+		s.acquisitions.Add(1)
+	}
+	return true
+}
+
+// Unlock releases the mutex.
+//
+//hcsgc:alloc-free
+func (m *Mutex) Unlock() { m.inner.Unlock() }
+
+// OpSite counts attempts and retries of one shared-structure atomic
+// loop (CAS install, bump-pointer race, queue transfer). A nil *OpSite
+// accepts every call as a no-op, so instrumentation sites need no
+// enabled checks.
+type OpSite struct {
+	name    string
+	ops     atomic.Uint64
+	retries atomic.Uint64
+}
+
+// Name returns the op site's registration name.
+func (o *OpSite) Name() string {
+	if o == nil {
+		return ""
+	}
+	return o.name
+}
+
+// Op counts one completed operation (however many retries it took).
+//
+//hcsgc:alloc-free
+func (o *OpSite) Op() {
+	if o == nil {
+		return
+	}
+	o.ops.Add(1)
+}
+
+// Retry counts one failed attempt that had to loop.
+//
+//hcsgc:alloc-free
+func (o *OpSite) Retry() {
+	if o == nil {
+		return
+	}
+	o.retries.Add(1)
+}
+
+// Ops returns total completed operations.
+func (o *OpSite) Ops() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.ops.Load()
+}
+
+// Retries returns total failed attempts.
+func (o *OpSite) Retries() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.retries.Load()
+}

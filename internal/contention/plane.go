@@ -1,0 +1,424 @@
+package contention
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"hcsgc/internal/telemetry"
+)
+
+// WorkerTotals is one GC worker's cumulative activity, reported by the
+// collector at cycle end. All fields are since-process-start totals; the
+// plane differentiates them into per-cycle deltas.
+type WorkerTotals struct {
+	// Scanned counts objects traced by the worker during marking.
+	Scanned uint64
+	// Relocated counts objects the worker copied during the drain.
+	Relocated uint64
+	// Steals counts work chunks the worker fetched from the shared
+	// mark pool (work acquired globally rather than from its own local
+	// stack).
+	Steals uint64
+	// BusyCycles is the worker's simulated-memory cycle consumption —
+	// virtual time spent doing work rather than parked waiting for it.
+	// Zero when the memory model is disabled.
+	BusyCycles uint64
+}
+
+// CycleDelta summarizes one GC cycle's contention activity: per-cycle
+// differences of every cumulative counter the plane tracks, plus the
+// worker imbalance coefficient. The collector copies it into
+// signals.CycleSignals.
+type CycleDelta struct {
+	Workers       int
+	Imbalance     float64
+	Scanned       uint64
+	Relocated     uint64
+	Steals        uint64
+	Acquisitions  uint64
+	Contended     uint64
+	ContendedFrac float64
+	CASOps        uint64
+	CASRetries    uint64
+	RetryFrac     float64
+}
+
+// source bridges a component whose locking cannot adopt contention.Mutex
+// (the telemetry registry/recorder would create an import cycle through
+// telemetry/latency) but that can report (attempts, contended) totals.
+type source struct {
+	name          string
+	probe         func() (ops, contended uint64)
+	prevOps       uint64
+	prevContended uint64
+}
+
+// Plane owns the registered sites and turns their cumulative counters
+// into per-cycle deltas, metrics, Perfetto counter tracks and the
+// /contention snapshot. A nil *Plane is the opted-out plane: NewSite and
+// NewOpSite return nil, so every instrumentation site degrades to the
+// nil no-op path.
+type Plane struct {
+	// mu orders plane-internal state. Innermost of the runtime's ranked
+	// locks: OnCycle runs with collector locks held.
+	//
+	//hcsgc:lock-order 70
+	mu      sync.Mutex
+	sites   []*Site
+	prev    []siteTotals
+	ops     []*OpSite
+	prevOps []opTotals
+	sources []*source
+
+	workersPrev []WorkerTotals
+	cycles      uint64
+	last        CycleDelta
+
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+}
+
+type siteTotals struct{ acq, contended uint64 }
+
+type opTotals struct{ ops, retries uint64 }
+
+// New builds an empty, enabled plane.
+func New() *Plane { return &Plane{} }
+
+// NewSite registers a named lock site. Returns nil (the no-op site) on a
+// nil plane. If the name is already registered the existing site is
+// returned, so re-wiring a shared plane stays idempotent.
+func (p *Plane) NewSite(name string) *Site {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.sites {
+		if s.name == name {
+			return s
+		}
+	}
+	s := &Site{name: name}
+	p.sites = append(p.sites, s)
+	p.prev = append(p.prev, siteTotals{})
+	if p.reg != nil {
+		p.bindSite(s)
+	}
+	return s
+}
+
+// NewOpSite registers a named CAS/atomic-loop site; nil-plane safe and
+// idempotent like NewSite.
+func (p *Plane) NewOpSite(name string) *OpSite {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, o := range p.ops {
+		if o.name == name {
+			return o
+		}
+	}
+	o := &OpSite{name: name}
+	p.ops = append(p.ops, o)
+	p.prevOps = append(p.prevOps, opTotals{})
+	return o
+}
+
+// AddSource registers (or replaces, by name) an external probe reporting
+// cumulative (attempts, contended) for a lock the plane cannot wrap.
+func (p *Plane) AddSource(name string, probe func() (ops, contended uint64)) {
+	if p == nil || probe == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.sources {
+		if s.name == name {
+			s.probe = probe
+			return
+		}
+	}
+	p.sources = append(p.sources, &source{name: name, probe: probe})
+}
+
+// BindTelemetry attaches the metrics registry and event recorder. Wait
+// histograms are exported as summaries once per site; counters/gauges
+// are resolved lazily per cycle (registration is get-or-create).
+func (p *Plane) BindTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+	p.rec = rec
+	for _, s := range p.sites {
+		p.bindSite(s)
+	}
+}
+
+// bindSite registers the per-site wait summary. Caller holds p.mu.
+func (p *Plane) bindSite(s *Site) {
+	p.reg.Summary("hcsgc_contention_wait_ns",
+		"Wall-clock nanoseconds contended lock acquisitions waited.",
+		&s.wait, "site", s.name)
+}
+
+// Metric family helps, shared with the telemetrynames fixtures.
+const (
+	helpAcq       = "Lock acquisitions by site."
+	helpContended = "Lock acquisitions that had to block, by site."
+	helpCASOps    = "Completed atomic-loop operations by structure."
+	helpCASRetry  = "Failed atomic-loop attempts that looped, by structure."
+	helpScanned   = "Objects scanned by GC worker."
+	helpRelocated = "Objects relocated by GC worker."
+	helpSteals    = "Work chunks fetched from the shared mark pool by GC worker."
+	helpBusy      = "Simulated busy cycles consumed by GC worker."
+	helpImbalance = "Per-cycle GC worker imbalance coefficient (stddev/mean of work)."
+)
+
+// OnCycle ingests one GC cycle's worker totals, differentiates every
+// cumulative counter into this cycle's delta, updates metrics and
+// Perfetto counter tracks, and returns the delta for the signal plane.
+// Called once per cycle from the collector with seq the cycle sequence
+// number; nil-plane safe (returns the zero delta).
+func (p *Plane) OnCycle(seq uint64, workers []WorkerTotals) CycleDelta {
+	if p == nil {
+		return CycleDelta{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cycles++
+
+	var d CycleDelta
+
+	// Lock sites: per-cycle deltas of cumulative counters.
+	for i, s := range p.sites {
+		acq, con := s.acquisitions.Load(), s.contended.Load()
+		dAcq, dCon := acq-p.prev[i].acq, con-p.prev[i].contended
+		p.prev[i] = siteTotals{acq: acq, contended: con}
+		d.Acquisitions += dAcq
+		d.Contended += dCon
+		if p.reg != nil && dAcq > 0 {
+			p.reg.Counter("hcsgc_contention_acquisitions_total", helpAcq, "site", s.name).Add(dAcq)
+			p.reg.Counter("hcsgc_contention_contended_total", helpContended, "site", s.name).Add(dCon)
+		}
+	}
+	for _, src := range p.sources {
+		ops, con := src.probe()
+		dOps, dCon := ops-src.prevOps, con-src.prevContended
+		src.prevOps, src.prevContended = ops, con
+		d.Acquisitions += dOps
+		d.Contended += dCon
+		if p.reg != nil && dOps > 0 {
+			p.reg.Counter("hcsgc_contention_acquisitions_total", helpAcq, "site", src.name).Add(dOps)
+			p.reg.Counter("hcsgc_contention_contended_total", helpContended, "site", src.name).Add(dCon)
+		}
+	}
+	if d.Acquisitions > 0 {
+		d.ContendedFrac = float64(d.Contended) / float64(d.Acquisitions)
+	}
+
+	// CAS loops.
+	for i, o := range p.ops {
+		ops, ret := o.ops.Load(), o.retries.Load()
+		dOps, dRet := ops-p.prevOps[i].ops, ret-p.prevOps[i].retries
+		p.prevOps[i] = opTotals{ops: ops, retries: ret}
+		d.CASOps += dOps
+		d.CASRetries += dRet
+		if p.reg != nil && dOps+dRet > 0 {
+			p.reg.Counter("hcsgc_contention_cas_ops_total", helpCASOps, "structure", o.name).Add(dOps)
+			p.reg.Counter("hcsgc_contention_cas_retries_total", helpCASRetry, "structure", o.name).Add(dRet)
+		}
+	}
+	if d.CASOps > 0 {
+		d.RetryFrac = float64(d.CASRetries) / float64(d.CASOps)
+	}
+
+	// Worker balance.
+	if len(workers) > len(p.workersPrev) {
+		p.workersPrev = append(p.workersPrev, make([]WorkerTotals, len(workers)-len(p.workersPrev))...)
+	}
+	d.Workers = len(workers)
+	work := make([]float64, len(workers))
+	for i, w := range workers {
+		pw := p.workersPrev[i]
+		dScan, dReloc := w.Scanned-pw.Scanned, w.Relocated-pw.Relocated
+		dSteal, dBusy := w.Steals-pw.Steals, w.BusyCycles-pw.BusyCycles
+		p.workersPrev[i] = w
+		d.Scanned += dScan
+		d.Relocated += dReloc
+		d.Steals += dSteal
+		// Imbalance is computed over busy virtual cycles when the memory
+		// model runs; otherwise over scanned+relocated work units.
+		if dBusy > 0 {
+			work[i] = float64(dBusy)
+		} else {
+			work[i] = float64(dScan + dReloc)
+		}
+		if p.reg != nil {
+			id := strconv.Itoa(i)
+			p.reg.Counter("hcsgc_worker_scanned_total", helpScanned, "worker", id).Add(dScan)
+			p.reg.Counter("hcsgc_worker_relocated_total", helpRelocated, "worker", id).Add(dReloc)
+			p.reg.Counter("hcsgc_worker_steals_total", helpSteals, "worker", id).Add(dSteal)
+			p.reg.Counter("hcsgc_worker_busy_cycles_total", helpBusy, "worker", id).Add(dBusy)
+		}
+	}
+	d.Imbalance = imbalance(work)
+	if p.reg != nil {
+		p.reg.Gauge("hcsgc_worker_imbalance", helpImbalance).Set(d.Imbalance)
+	}
+	if p.rec != nil {
+		p.rec.Record(telemetry.EvCounter, telemetry.CounterContentionContended,
+			math.Float64bits(float64(d.Contended)), seq)
+		p.rec.Record(telemetry.EvCounter, telemetry.CounterContentionCASRetries,
+			math.Float64bits(float64(d.CASRetries)), seq)
+		p.rec.Record(telemetry.EvCounter, telemetry.CounterWorkerImbalance,
+			math.Float64bits(d.Imbalance), seq)
+	}
+	p.last = d
+	return d
+}
+
+// imbalance is the coefficient of variation (stddev/mean) of per-worker
+// work; 0 for perfectly balanced, empty, or idle cycles.
+func imbalance(work []float64) float64 {
+	if len(work) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range work {
+		sum += w
+	}
+	mean := sum / float64(len(work))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, w := range work {
+		dev := w - mean
+		ss += dev * dev
+	}
+	return math.Sqrt(ss/float64(len(work))) / mean
+}
+
+// SiteSnapshot is one lock site's cumulative totals for /contention.
+type SiteSnapshot struct {
+	Name          string  `json:"name"`
+	Acquisitions  uint64  `json:"acquisitions"`
+	Contended     uint64  `json:"contended"`
+	ContendedFrac float64 `json:"contended_frac"`
+	WaitP50NS     float64 `json:"wait_p50_ns"`
+	WaitP99NS     float64 `json:"wait_p99_ns"`
+	WaitMaxNS     uint64  `json:"wait_max_ns"`
+}
+
+// OpSnapshot is one atomic-loop site's cumulative totals.
+type OpSnapshot struct {
+	Name      string  `json:"name"`
+	Ops       uint64  `json:"ops"`
+	Retries   uint64  `json:"retries"`
+	RetryFrac float64 `json:"retry_frac"`
+}
+
+// WorkerSnapshot is one GC worker's cumulative totals as of the last
+// completed cycle.
+type WorkerSnapshot struct {
+	ID         int    `json:"id"`
+	Scanned    uint64 `json:"scanned"`
+	Relocated  uint64 `json:"relocated"`
+	Steals     uint64 `json:"steals"`
+	BusyCycles uint64 `json:"busy_cycles"`
+}
+
+// Snapshot is the /contention endpoint payload: the ranked serialization
+// list (sites sorted by contended acquisitions, descending) plus CAS and
+// worker breakdowns and the last cycle's imbalance coefficient.
+type Snapshot struct {
+	Cycles    uint64           `json:"cycles"`
+	Sites     []SiteSnapshot   `json:"sites"`
+	CAS       []OpSnapshot     `json:"cas"`
+	Workers   []WorkerSnapshot `json:"workers"`
+	Imbalance float64          `json:"imbalance"`
+}
+
+// Snapshot captures cumulative totals. Nil-plane safe (returns the zero
+// snapshot). Sites are ranked most-contended first, ties broken by
+// acquisitions then name so the order is deterministic.
+func (p *Plane) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := Snapshot{Cycles: p.cycles, Imbalance: p.last.Imbalance}
+	for _, s := range p.sites {
+		ss := SiteSnapshot{
+			Name:         s.name,
+			Acquisitions: s.acquisitions.Load(),
+			Contended:    s.contended.Load(),
+			WaitP50NS:    s.wait.Quantile(0.50),
+			WaitP99NS:    s.wait.Quantile(0.99),
+			WaitMaxNS:    s.wait.Max(),
+		}
+		if ss.Acquisitions > 0 {
+			ss.ContendedFrac = float64(ss.Contended) / float64(ss.Acquisitions)
+		}
+		snap.Sites = append(snap.Sites, ss)
+	}
+	for _, src := range p.sources {
+		ops, con := src.probe()
+		ss := SiteSnapshot{Name: src.name, Acquisitions: ops, Contended: con}
+		if ops > 0 {
+			ss.ContendedFrac = float64(con) / float64(ops)
+		}
+		snap.Sites = append(snap.Sites, ss)
+	}
+	sort.Slice(snap.Sites, func(i, j int) bool {
+		a, b := snap.Sites[i], snap.Sites[j]
+		if a.Contended != b.Contended {
+			return a.Contended > b.Contended
+		}
+		if a.Acquisitions != b.Acquisitions {
+			return a.Acquisitions > b.Acquisitions
+		}
+		return a.Name < b.Name
+	})
+	for _, o := range p.ops {
+		os := OpSnapshot{Name: o.name, Ops: o.ops.Load(), Retries: o.retries.Load()}
+		if os.Ops > 0 {
+			os.RetryFrac = float64(os.Retries) / float64(os.Ops)
+		}
+		snap.CAS = append(snap.CAS, os)
+	}
+	sort.Slice(snap.CAS, func(i, j int) bool {
+		a, b := snap.CAS[i], snap.CAS[j]
+		if a.Retries != b.Retries {
+			return a.Retries > b.Retries
+		}
+		return a.Name < b.Name
+	})
+	for i, w := range p.workersPrev {
+		snap.Workers = append(snap.Workers, WorkerSnapshot{
+			ID: i, Scanned: w.Scanned, Relocated: w.Relocated,
+			Steals: w.Steals, BusyCycles: w.BusyCycles,
+		})
+	}
+	return snap
+}
+
+// Last returns the most recent cycle's delta (zero before the first
+// cycle). Nil-plane safe.
+func (p *Plane) Last() CycleDelta {
+	if p == nil {
+		return CycleDelta{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"hcsgc/internal/contention"
 	"hcsgc/internal/faultinject"
 )
 
@@ -96,6 +97,11 @@ type Page struct {
 	// here so UndoAlloc's race window can be perturbed without a heap
 	// back-pointer.
 	inj *faultinject.Injector
+	// casAlloc/casFwd are the heap-wide CAS attribution sites for the
+	// bump-pointer and forwarding-table loops (nil when the contention
+	// plane is opted out).
+	casAlloc *contention.OpSite
+	casFwd   *contention.OpSite
 }
 
 // newPage wires a page over a fresh address range with a backing slice.
@@ -140,8 +146,10 @@ func (p *Page) AllocRaw(size uint64) uint64 {
 			return 0
 		}
 		if p.top.CompareAndSwap(old, old+size) {
+			p.casAlloc.Op()
 			return old
 		}
+		p.casAlloc.Retry()
 	}
 }
 
@@ -276,7 +284,9 @@ func (p *Page) WeightedLiveBytes(coldConfidence float64) uint64 {
 // live-object count and flags the page as an evacuation candidate.
 func (p *Page) SelectForEvacuation() {
 	n := int(p.liveObjects.Load())
-	p.fwd.Store(NewForwardTable(n))
+	t := NewForwardTable(n)
+	t.cas = p.casFwd
+	p.fwd.Store(t)
 	p.remaining.Store(int64(n))
 	p.inEC.Store(true)
 }

@@ -59,6 +59,10 @@ type Thresholds struct {
 	// MinSegPurity flags "purity_drop" when segregation purity was
 	// measured (>= 0) and fell below it. Default 0.5.
 	MinSegPurity float64
+	// ContentionSpike flags "contention_spike" when the cycle's lock
+	// contended-acquisition fraction (contention plane attached) meets
+	// it. Default 0.25.
+	ContentionSpike float64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if t.MinSegPurity == 0 {
 		t.MinSegPurity = 0.5
+	}
+	if t.ContentionSpike == 0 {
+		t.ContentionSpike = 0.25
 	}
 	return c
 }
@@ -127,6 +134,33 @@ type LocalitySignals struct {
 	SegPurity         float64 `json:"seg_purity"`
 }
 
+// WorkerSignals is the GC-worker balance section of a CycleSignals
+// record: the contention plane's per-cycle delta of the workers'
+// scanned/relocated/stolen counts and its imbalance coefficient
+// (stddev/mean of per-worker work; 0 = perfectly balanced). Present is
+// false (fields zero) when the contention plane is opted out.
+type WorkerSignals struct {
+	Present   bool    `json:"present"`
+	Workers   int     `json:"workers"`
+	Imbalance float64 `json:"imbalance"`
+	Scanned   uint64  `json:"scanned"`
+	Relocated uint64  `json:"relocated"`
+	Steals    uint64  `json:"steals"`
+}
+
+// ContentionSignals is the serialization section of a CycleSignals
+// record: the contention plane's per-cycle lock and CAS-loop deltas
+// summed across sites. Present is false when the plane is opted out.
+type ContentionSignals struct {
+	Present       bool    `json:"present"`
+	Acquisitions  uint64  `json:"acquisitions"`
+	Contended     uint64  `json:"contended"`
+	ContendedFrac float64 `json:"contended_frac"`
+	CASOps        uint64  `json:"cas_ops"`
+	CASRetries    uint64  `json:"cas_retries"`
+	RetryFrac     float64 `json:"retry_frac"`
+}
+
 // DerivedSignal is one scalar signal's derived view: the raw per-cycle
 // value, its EWMA level, and the trend (EWMA delta vs the previous
 // cycle; positive = rising). The controller input contract.
@@ -157,6 +191,11 @@ type CycleSignals struct {
 	Heap     HeapSignals     `json:"heap"`
 	Locality LocalitySignals `json:"locality"`
 
+	// Workers and Contention are the contention plane's per-cycle view
+	// (zero-valued, Present=false, when the plane is opted out).
+	Workers    WorkerSignals     `json:"workers"`
+	Contention ContentionSignals `json:"contention"`
+
 	// StallDist is the cumulative allocation-stall duration distribution
 	// as of this cycle end (the signal PR 6 found dominates the tail).
 	StallDist latency.Dist `json:"stall_dist"`
@@ -181,6 +220,9 @@ const (
 	SigReuseP50        = "reuse_p50_lines"
 	SigStreamCoverage  = "stream_coverage"
 	SigSegPurity       = "seg_purity"
+	SigWorkerImbalance = "worker_imbalance"
+	SigLockContention  = "lock_contended_frac"
+	SigCASRetryRate    = "cas_retry_frac"
 )
 
 // DerivedOrder is the deterministic emission order of the derived
@@ -189,6 +231,7 @@ var DerivedOrder = []string{
 	SigUtilization, SigMaxPause, SigStalls, SigStallP99,
 	SigAllocRate, SigHeapUsed, SigColdFrac, SigBarrierSlowRate,
 	SigReuseP50, SigStreamCoverage, SigSegPurity,
+	SigWorkerImbalance, SigLockContention, SigCASRetryRate,
 }
 
 // The anomaly flags, in report order.
@@ -198,13 +241,16 @@ const (
 	FlagLongPause      = "long_pause"
 	FlagHeapPressure   = "heap_pressure"
 	FlagPurityDrop     = "purity_drop"
+	// FlagContentionSpike is the ROADMAP-4 controller's cue that the
+	// cycle serialized on locks rather than work.
+	FlagContentionSpike = "contention_spike"
 )
 
 // FlagNames is the full flag set (the label set of
 // hcsgc_signal_flags_total).
 var FlagNames = []string{
 	FlagLowUtilization, FlagStallSpike, FlagLongPause,
-	FlagHeapPressure, FlagPurityDrop,
+	FlagHeapPressure, FlagPurityDrop, FlagContentionSpike,
 }
 
 type ewmaState struct {
@@ -292,6 +338,13 @@ func rawSignals(rec *CycleSignals) map[string]float64 {
 		out[SigStreamCoverage] = rec.Locality.StreamCoverage
 		out[SigSegPurity] = rec.Locality.SegPurity
 	}
+	if rec.Workers.Present {
+		out[SigWorkerImbalance] = rec.Workers.Imbalance
+	}
+	if rec.Contention.Present {
+		out[SigLockContention] = rec.Contention.ContendedFrac
+		out[SigCASRetryRate] = rec.Contention.RetryFrac
+	}
 	return out
 }
 
@@ -321,6 +374,10 @@ func (p *Plane) flags(rec *CycleSignals, raw map[string]float64) []string {
 			// copy so the flag works in both configurations.
 			out = append(out, FlagPurityDrop)
 		}
+	}
+	if th.ContentionSpike > 0 && rec.Contention.Present &&
+		rec.Contention.ContendedFrac >= th.ContentionSpike {
+		out = append(out, FlagContentionSpike)
 	}
 	return out
 }

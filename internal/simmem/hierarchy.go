@@ -2,8 +2,10 @@ package simmem
 
 import (
 	"fmt"
-	"sync"
+	"math/bits"
 	"sync/atomic"
+
+	"hcsgc/internal/contention"
 )
 
 // Latencies gives the access cost, in CPU cycles, of a hit at each level of
@@ -32,6 +34,15 @@ type HierarchyConfig struct {
 	// PrefetchDepth is how many lines ahead the per-core stream prefetcher
 	// runs; 0 disables prefetching.
 	PrefetchDepth int
+	// LLCStripes shards the shared LLC lock: the LLC is split into this
+	// many independently locked sub-caches, partitioned by set index so
+	// hit/miss behaviour is identical to the monolithic cache (high set
+	// bits pick the stripe, low bits the set within it). Must be a power
+	// of two no larger than the LLC set count; 0 selects the default
+	// (8, clamped to the set count). 1 restores the single global lock —
+	// the configuration the contention plane measured before this knob
+	// existed.
+	LLCStripes int
 }
 
 // DefaultConfig models the laptop used for all benchmarks except SPECjbb:
@@ -77,28 +88,87 @@ type Core struct {
 	cycles atomic.Uint64
 }
 
-// Hierarchy is the whole memory system: a shared LLC plus per-core private
-// levels. The LLC is protected by a mutex; private levels are lock-free by
-// ownership.
-type Hierarchy struct {
-	cfg   HierarchyConfig
-	llcMu sync.Mutex
-	llc   *Cache
+// llcStripe is one independently locked shard of the shared LLC. Padding
+// keeps neighbouring stripe locks off the same cache line (of the real
+// machine, not the simulated one).
+type llcStripe struct {
+	mu contention.Mutex
+	c  *Cache
+	_  [64]byte
+}
 
-	coresMu sync.Mutex
+// Hierarchy is the whole memory system: a shared LLC plus per-core private
+// levels. The LLC is striped: each stripe owns a contiguous range of set
+// indices behind its own lock (see HierarchyConfig.LLCStripes); private
+// levels are lock-free by ownership.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	// stripes partition the LLC sets; setMask/stripeShift map an address
+	// to (stripe, set): setIdx = (line-1) & setMask, stripe = setIdx >>
+	// stripeShift.
+	stripes     []llcStripe
+	setMask     uint64
+	stripeShift uint
+
+	coresMu contention.Mutex
 	cores   []*Core
 }
 
+// defaultLLCStripes is the stripe count when HierarchyConfig leaves it 0.
+const defaultLLCStripes = 8
+
 // NewHierarchy validates cfg and builds the shared levels.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
-	llc, err := NewCache(cfg.LLC)
-	if err != nil {
+	if _, err := NewCache(cfg.LLC); err != nil {
 		return nil, err
+	}
+	sets := uint64(cfg.LLC.Size / (cfg.LLC.Ways * LineSize))
+	stripes := cfg.LLCStripes
+	if stripes == 0 {
+		stripes = defaultLLCStripes
+		for uint64(stripes) > sets {
+			stripes /= 2
+		}
+	}
+	if stripes < 1 || stripes&(stripes-1) != 0 || uint64(stripes) > sets {
+		return nil, fmt.Errorf("simmem: LLC stripes %d must be a power of two no larger than the %d sets", cfg.LLCStripes, sets)
 	}
 	if cfg.Lat == (Latencies{}) {
 		cfg.Lat = DefaultLatencies()
 	}
-	return &Hierarchy{cfg: cfg, llc: llc}, nil
+	h := &Hierarchy{
+		cfg:         cfg,
+		stripes:     make([]llcStripe, stripes),
+		setMask:     sets - 1,
+		stripeShift: uint(bits.TrailingZeros64(sets / uint64(stripes))),
+	}
+	sub := cfg.LLC
+	sub.Size = cfg.LLC.Size / stripes
+	for i := range h.stripes {
+		h.stripes[i].c = MustNewCache(sub)
+	}
+	return h, nil
+}
+
+// SetContention attributes the hierarchy's shared locks to the plane.
+// All stripes share one "simmem.llcMu" site so contended counts stay
+// comparable across stripe configurations. Call before any core exists.
+func (h *Hierarchy) SetContention(p *contention.Plane) {
+	llc := p.NewSite("simmem.llcMu")
+	for i := range h.stripes {
+		h.stripes[i].mu.Instrument(llc)
+	}
+	h.coresMu.Instrument(p.NewSite("simmem.coresMu"))
+}
+
+// stripeOf maps an address to its LLC stripe index. The set partition
+// matches the monolithic cache exactly: the full set index is the low
+// bits of the line number; its high bits select the stripe and the low
+// bits the set inside the stripe cache.
+//
+//hcsgc:alloc-free
+func (h *Hierarchy) stripeOf(addr uint64) uint64 {
+	return ((line(addr) - 1) & h.setMask) >> h.stripeShift
 }
 
 // MustNewHierarchy is NewHierarchy but panics on error.
@@ -184,9 +254,10 @@ func (c *Core) accessLine(addr uint64, store bool) uint64 {
 	if c.l2.Access(addr) {
 		return c.lat.L2
 	}
-	c.sys.llcMu.Lock()
-	hit := c.sys.llc.Access(addr)
-	c.sys.llcMu.Unlock()
+	st := &c.sys.stripes[c.sys.stripeOf(addr)]
+	st.mu.Lock()
+	hit := st.c.Access(addr)
+	st.mu.Unlock()
 	if hit {
 		return c.lat.LLC
 	}
@@ -204,11 +275,12 @@ func (c *Core) firePrefetch(addr uint64) {
 	for _, t := range targets {
 		c.l2.Prefetch(t)
 	}
-	c.sys.llcMu.Lock()
 	for _, t := range targets {
-		c.sys.llc.Prefetch(t)
+		st := &c.sys.stripes[c.sys.stripeOf(t)]
+		st.mu.Lock()
+		st.c.Prefetch(t)
+		st.mu.Unlock()
 	}
-	c.sys.llcMu.Unlock()
 }
 
 // InvalidateRange drops all lines of [addr, addr+size) from this core's
@@ -289,19 +361,22 @@ func (h *Hierarchy) Stats() SystemStats {
 	for _, c := range cores {
 		out.CoreStats.Add(c.Stats())
 	}
-	out.LLCMisses = h.llc.Misses()
-	out.LLCHits = h.llc.Hits()
+	for i := range h.stripes {
+		out.LLCMisses += h.stripes[i].c.Misses()
+		out.LLCHits += h.stripes[i].c.Hits()
+	}
 	return out
 }
 
 // InvalidateRangeLLC drops lines of a recycled page from the shared LLC.
 func (h *Hierarchy) InvalidateRangeLLC(addr uint64, size int) {
 	first := addr &^ uint64(LineSize-1)
-	h.llcMu.Lock()
 	for a := first; a < addr+uint64(size); a += LineSize {
-		h.llc.Invalidate(a)
+		st := &h.stripes[h.stripeOf(a)]
+		st.mu.Lock()
+		st.c.Invalidate(a)
+		st.mu.Unlock()
 	}
-	h.llcMu.Unlock()
 }
 
 // Config returns the configuration the hierarchy was built with.

@@ -259,3 +259,32 @@ func TestLatenciesDefaultApplied(t *testing.T) {
 		t.Fatalf("default latency not applied: cold load cost %d", got)
 	}
 }
+
+// TestLLCStripingEquivalence: sharding the LLC lock must not change what
+// the cache model computes — stripes partition the set index space, so a
+// single-threaded access sequence sees identical hits, misses, and
+// cycles at any stripe count.
+func TestLLCStripingEquivalence(t *testing.T) {
+	run := func(stripes int) SystemStats {
+		cfg := smallConfig()
+		cfg.LLCStripes = stripes
+		h := MustNewHierarchy(cfg)
+		c := h.NewCore()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 4096; i++ {
+			addr := uint64(rng.Intn(1 << 20))
+			if i%3 == 0 {
+				c.Store(addr, 8)
+			} else {
+				c.Load(addr, 8)
+			}
+		}
+		return h.Stats()
+	}
+	base := run(1)
+	for _, stripes := range []int{2, 8} {
+		if got := run(stripes); got != base {
+			t.Errorf("stats diverge at %d stripes:\n1: %+v\n%d: %+v", stripes, base, stripes, got)
+		}
+	}
+}

@@ -27,6 +27,7 @@ type Sink struct {
 	signals     func() any
 	tailattr    func() any
 	overload    func() any
+	contention  func() any
 
 	// dropped mirrors the recorder's loss counters into the registry at
 	// scrape time so exporters can alert on telemetry loss.
@@ -162,6 +163,18 @@ func (s *Sink) SetSignals(fn func() any) {
 	s.mu.Unlock()
 }
 
+// SetContention installs the snapshot source behind the /contention
+// endpoint (typically a closure over contention.Plane.Snapshot). The
+// returned value is rendered as JSON. Nil-safe; the latest runtime wins.
+func (s *Sink) SetContention(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.contention = fn
+	s.mu.Unlock()
+}
+
 // SetTailAttr installs the snapshot source behind the /tailattr endpoint
 // (typically a closure over signals.TailAttributor.Report). The returned
 // value is rendered as JSON. Nil-safe; the latest workload wins.
@@ -207,9 +220,10 @@ func (s *Sink) WriteFlightRecorder(w io.Writer) error {
 // /gclog (ZGC-style text log), /locality (locality-profiler report),
 // /mmu (minimum-mutator-utilization curve), /kv (KV serving report),
 // /flightrecorder (latency flight-recorder dump; ?rearm=1 resets the
-// auto-dump budget), /signals (unified per-cycle signal plane) and
-// /tailattr (request-level tail attribution report) and /overload
-// (admission-control and goodput accounting).
+// auto-dump budget), /signals (unified per-cycle signal plane),
+// /contention (contention attribution plane: ranked lock sites, CAS
+// loops, worker balance), /tailattr (request-level tail attribution
+// report) and /overload (admission-control and goodput accounting).
 func (s *Sink) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -304,6 +318,19 @@ func (s *Sink) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(fn())
 	})
+	mux.HandleFunc("/contention", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.contention
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			io.WriteString(w, "null\n")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fn())
+	})
 	mux.HandleFunc("/tailattr", func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
 		fn := s.tailattr
@@ -335,7 +362,7 @@ func (s *Sink) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /kv /flightrecorder /signals /tailattr /overload")
+		fmt.Fprintln(w, "hcsgc telemetry: /metrics /metrics.json /trace /gclog /locality /mmu /kv /flightrecorder /signals /contention /tailattr /overload")
 	})
 	return mux
 }

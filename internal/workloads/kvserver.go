@@ -12,8 +12,9 @@ import (
 	"hcsgc/internal/overload"
 )
 
-// KVServer models a memcached-style serving system: kvThreads server
-// threads each own one shard of an in-heap key/value cache
+// KVServer models a memcached-style serving system: server threads
+// (RunConfig.Mutators, default kvThreads) each own one shard of an
+// in-heap key/value cache
 // (internal/kvstore) and execute a pregenerated open-loop request
 // schedule (internal/loadgen). Request latency is measured on the
 // virtual-cycle timeline from the scheduled arrival time to completion,
@@ -21,7 +22,8 @@ import (
 // flight — and, because arrivals are open-loop, on the requests that
 // queued up behind them (no coordinated omission).
 //
-// Sharding is slot mod kvThreads (generation-invariant, see loadgen), so
+// Sharding is slot mod the thread count (generation-invariant, see
+// loadgen), so
 // every key's operations execute on a single thread: the run's checksum
 // is deterministic for a seed even though threads interleave freely with
 // the collector.
@@ -72,9 +74,13 @@ func KVServer() Workload {
 		Name: "KV server under open-loop load (SLO latency)",
 		Run: guard(func(cfg RunConfig) Result {
 			scale := cfg.scale(kvDefaultScale)
+			threads := cfg.Mutators
+			if threads <= 0 {
+				threads = kvThreads
+			}
 			keys := int(float64(kvBaseKeys) * scale)
-			if keys < 64*kvThreads {
-				keys = 64 * kvThreads
+			if keys < 64*threads {
+				keys = 64 * threads
 			}
 			reqs := int(float64(kvBaseRequests) * scale)
 			if reqs < 1_000 {
@@ -164,12 +170,12 @@ func KVServer() Workload {
 				wg         sync.WaitGroup
 				loaded     sync.WaitGroup
 				serve      = make(chan struct{})
-				checks     [kvThreads]uint64
-				spans      [kvThreads]uint64
+				checks     = make([]uint64, threads)
+				spans      = make([]uint64, threads)
 				serveAlloc atomic.Uint64
 			)
-			loaded.Add(kvThreads)
-			for t := 0; t < kvThreads; t++ {
+			loaded.Add(threads)
+			for t := 0; t < threads; t++ {
 				wg.Add(1)
 				go func(tid int) {
 					defer wg.Done()
@@ -190,7 +196,7 @@ func KVServer() Workload {
 					// its requests without heap work (a goroutine panic
 					// here would kill the whole process — guard() only
 					// covers the main goroutine).
-					st, stErr := kvstore.TryNew(m, types, 2*keys/kvThreads)
+					st, stErr := kvstore.TryNew(m, types, 2*keys/threads)
 					if stErr != nil && !errors.Is(stErr, hcsgc.ErrOutOfMemory) {
 						panic(stErr)
 					}
@@ -202,7 +208,7 @@ func KVServer() Workload {
 					// serves with a partial cache instead of dying — read
 					// traffic degrades to misses, not to a dead run.
 					if st != nil {
-						for s := tid; s < keys; s += kvThreads {
+						for s := tid; s < keys; s += threads {
 							vw := lg.ValueWordsMin + s%(lg.ValueWordsMax-lg.ValueWordsMin+1)
 							if _, err := st.TrySet(uint64(s), vw); err != nil {
 								if errors.Is(err, hcsgc.ErrOutOfMemory) {
@@ -233,7 +239,7 @@ func KVServer() Workload {
 					handled := 0
 					for i := range sched.Requests {
 						r := &sched.Requests[i]
-						if int(r.Key%uint64(keys))%kvThreads != tid {
+						if int(r.Key%uint64(keys))%threads != tid {
 							continue
 						}
 						if r.Seq%64 == 0 {
@@ -469,6 +475,7 @@ func KVServer() Workload {
 				cfg.OverloadStats.Merge(ost)
 			}
 			res := e.finish(check)
+			res.Ops = uint64(reqs)
 			steady := rep.Phases[loadgen.PhaseSteady].Dist
 			burst := rep.Phases[loadgen.PhaseBurst].Dist
 			hitRate := 0.0

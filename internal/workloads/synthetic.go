@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"math/rand"
+	"sync"
 
 	"hcsgc"
 	"hcsgc/internal/machine"
@@ -98,7 +99,61 @@ func synRunPhase(e *env, p synParams, seed int64) uint64 {
 	return check
 }
 
-// SyntheticSinglePhase is the Fig. 4 benchmark.
+// synRunPhaseParallel partitions the outer loop across mutators worker
+// threads (outer iteration i runs on worker i mod mutators). Every outer
+// iteration replays the same RNG sequence regardless of which worker
+// executes it, so the summed checksum equals the serial run's for any
+// worker count — only the interleaving (and thus the contention) changes.
+func synRunPhaseParallel(e *env, p synParams, seed int64, mutators int) uint64 {
+	arr := e.m.LoadRoot(0)
+	checks := make([]uint64, mutators)
+	var wg sync.WaitGroup
+	for t := 0; t < mutators; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			// Each worker owns its mutator for its whole lifetime so it
+			// polls safepoints from birth, and anchors the shared array in
+			// its own root set at spawn.
+			m := e.rt.NewMutator(1)
+			defer m.Close()
+			m.SetRoot(0, arr)
+			var check uint64
+			ops := 0
+			for i := tid; i < p.outer; i += mutators {
+				rng := rand.New(rand.NewSource(seed)) // same sequence every outer loop
+				for j := 0; j < p.inner; j++ {
+					idx := rng.Intn(p.elems)
+					obj := m.LoadRef(m.LoadRoot(0), idx)
+					check += m.LoadField(obj, 0)
+					ops++
+					if ops%10 == 0 {
+						m.AllocWordArray(synGarbageWords)
+					}
+					if ops%4096 == 0 {
+						m.Safepoint()
+					}
+				}
+				if tid == 0 {
+					e.sampleHeap()
+				}
+			}
+			checks[tid] = check
+		}(t)
+	}
+	// The main mutator waits as blocked: an idle unblocked mutator would
+	// stall every stop-the-world the workers trigger.
+	e.m.Blocked(wg.Wait)
+	var check uint64
+	for _, c := range checks {
+		check += c
+	}
+	return check
+}
+
+// SyntheticSinglePhase is the Fig. 4 benchmark. RunConfig.Mutators > 1
+// partitions the outer loop across that many mutator threads (the scaling
+// sweep's shared-array workload); the checksum is identical at any width.
 func SyntheticSinglePhase() Workload {
 	return Workload{
 		Name: "synthetic single-phase (Fig. 4)",
@@ -109,8 +164,15 @@ func SyntheticSinglePhase() Workload {
 			objType := e.rt.Types.Register("syn.obj", synObjFields, nil)
 			synBuild(e, objType, p.elems)
 			e.markMeasured()
-			check := synRunPhase(e, p, cfg.Seed)
-			return e.finish(check)
+			var check uint64
+			if cfg.Mutators > 1 {
+				check = synRunPhaseParallel(e, p, cfg.Seed, cfg.Mutators)
+			} else {
+				check = synRunPhase(e, p, cfg.Seed)
+			}
+			res := e.finish(check)
+			res.Ops = uint64(p.outer) * uint64(p.inner)
+			return res
 		}),
 	}
 }

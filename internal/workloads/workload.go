@@ -65,6 +65,18 @@ type RunConfig struct {
 	// DisableSignals turns the signal plane off for the run (overhead
 	// baselines).
 	DisableSignals bool
+	// Contention overrides the run's contention attribution plane (nil =
+	// the runtime builds a default one; the plane is always-on). The
+	// caller keeps the handle and reads the snapshot after the run.
+	Contention *hcsgc.ContentionPlane
+	// DisableContention turns the contention plane off for the run
+	// (overhead baselines).
+	DisableContention bool
+	// Mutators sets the number of mutator threads for workloads that
+	// scale across them (the fig4 synthetic and the KV server; 0 = the
+	// workload's default). Other workloads ignore it. The scaling sweep
+	// drives this.
+	Mutators int
 	// Tail attaches request-level tail attribution to the KV serving
 	// path (nil = disabled). Shared across runs, it merges their
 	// violation classifications.
@@ -133,6 +145,11 @@ type Result struct {
 	MutatorReloc, GCReloc uint64
 	// HeapSamples traces heap occupancy over time.
 	HeapSamples []HeapSample
+	// Ops counts the workload's completed operations in the measured
+	// portion (array accesses for the synthetics, requests for the KV
+	// server; 0 when a workload does not report it). Throughput for the
+	// scaling sweep is Ops / ExecSeconds.
+	Ops uint64
 	// Scores holds workload-specific metrics (SPECjbb throughput/latency).
 	Scores map[string]float64
 	// Check is a workload-defined checksum; identical across
@@ -194,26 +211,28 @@ func newEnv(cfg RunConfig, heapDefault uint64, rootSlots int) *env {
 		mach = machine.Laptop()
 	}
 	rt := hcsgc.MustNewRuntime(hcsgc.Options{
-		HeapMaxBytes:    heapBytes,
-		Knobs:           cfg.Knobs,
-		GCWorkers:       cfg.GCWorkers,
-		TriggerPercent:  cfg.TriggerPercent,
-		EvacThreshold:   cfg.EvacThreshold,
-		Machine:         mach,
-		MemConfig:       cfg.MemConfig,
-		DisableMemModel: cfg.DisableMem,
-		StartDriver:     true,
-		Telemetry:       cfg.Telemetry,
-		Locality:        cfg.Locality,
-		Latency:         cfg.Latency,
-		DisableLatency:  cfg.DisableLatency,
-		Signals:         cfg.Signals,
-		DisableSignals:  cfg.DisableSignals,
-		FaultInjector:   cfg.FaultInjector,
-		Verifier:        cfg.Verifier,
-		StallRetries:    cfg.StallRetries,
-		StallBackoff:    cfg.StallBackoff,
-		StallDeadline:   cfg.StallDeadline,
+		HeapMaxBytes:      heapBytes,
+		Knobs:             cfg.Knobs,
+		GCWorkers:         cfg.GCWorkers,
+		TriggerPercent:    cfg.TriggerPercent,
+		EvacThreshold:     cfg.EvacThreshold,
+		Machine:           mach,
+		MemConfig:         cfg.MemConfig,
+		DisableMemModel:   cfg.DisableMem,
+		StartDriver:       true,
+		Telemetry:         cfg.Telemetry,
+		Locality:          cfg.Locality,
+		Latency:           cfg.Latency,
+		DisableLatency:    cfg.DisableLatency,
+		Signals:           cfg.Signals,
+		DisableSignals:    cfg.DisableSignals,
+		Contention:        cfg.Contention,
+		DisableContention: cfg.DisableContention,
+		FaultInjector:     cfg.FaultInjector,
+		Verifier:          cfg.Verifier,
+		StallRetries:      cfg.StallRetries,
+		StallBackoff:      cfg.StallBackoff,
+		StallDeadline:     cfg.StallDeadline,
 	})
 	return &env{rt: rt, m: rt.NewMutator(rootSlots), cfg: cfg}
 }

@@ -2,11 +2,13 @@ package workloads
 
 import (
 	"errors"
+	"math"
 	"runtime"
 	"testing"
 	"time"
 
 	"hcsgc"
+	"hcsgc/internal/faultinject"
 	"hcsgc/internal/kvstore"
 )
 
@@ -179,6 +181,76 @@ func TestMutatorRelocationHappensUnderLazy(t *testing.T) {
 	if res.MutatorReloc == 0 {
 		t.Fatal("lazy+all configuration must produce mutator relocations")
 	}
+}
+
+// TestFig4ChecksumMutatorInvariant: partitioning the shared-array outer
+// iterations across mutators reorders execution but must not change
+// program results — the per-iteration rng reseed makes the checksum (and
+// the operation count) a pure function of the seed.
+func TestFig4ChecksumMutatorInvariant(t *testing.T) {
+	w, _ := Get("fig4")
+	base := mustRun(t, w, RunConfig{Knobs: hcsgc.Knobs{}, Seed: 11, Scale: 0.02})
+	for _, n := range []int{2, 4, 8} {
+		res := mustRun(t, w, RunConfig{Knobs: hcsgc.Knobs{}, Seed: 11, Scale: 0.02, Mutators: n})
+		if res.Check != base.Check {
+			t.Errorf("x%d checksum %d != serial %d", n, res.Check, base.Check)
+		}
+		if res.Ops != base.Ops {
+			t.Errorf("x%d ops %d != serial %d", n, res.Ops, base.Ops)
+		}
+	}
+}
+
+// TestWorkerBalanceUnderInjectedDelay: with multiple GC workers, a
+// relocating configuration, and the injector delaying relocation
+// inserts, the contention plane must still attribute per-worker totals
+// and a finite imbalance coefficient. Structural assertions only — the
+// injected yields skew the split, they do not make it predictable.
+func TestWorkerBalanceUnderInjectedDelay(t *testing.T) {
+	ctn := hcsgc.NewContentionPlane()
+	fcfg := hcsgc.FaultConfig{Seed: 3}
+	fcfg.Delay[faultinject.RelocInsert] = 0.8
+	res := mustRun(t, mustGet(t, "fig4"), RunConfig{
+		Knobs:         hcsgc.Knobs{RelocateAllSmallPages: true},
+		Seed:          1,
+		Scale:         0.03,
+		Mutators:      4,
+		GCWorkers:     2,
+		Contention:    ctn,
+		FaultInjector: hcsgc.NewFaultInjector(fcfg),
+	})
+	if res.GCCycleCount == 0 {
+		t.Fatal("no GC cycles: the balance plane never sampled")
+	}
+	snap := ctn.Snapshot()
+	if snap.Cycles == 0 {
+		t.Fatal("contention plane saw no cycles")
+	}
+	if len(snap.Workers) != 2 {
+		t.Fatalf("worker snapshots = %d, want 2", len(snap.Workers))
+	}
+	var scanned uint64
+	for _, w := range snap.Workers {
+		scanned += w.Scanned
+	}
+	if scanned == 0 {
+		t.Error("no objects attributed to any worker")
+	}
+	if math.IsNaN(snap.Imbalance) || snap.Imbalance < 0 {
+		t.Errorf("imbalance = %g, want finite >= 0", snap.Imbalance)
+	}
+	if len(snap.Sites) == 0 {
+		t.Error("no lock sites instrumented")
+	}
+}
+
+func mustGet(t *testing.T, id string) Workload {
+	t.Helper()
+	w, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }
 
 func TestDeterministicChecksumAcrossSeeds(t *testing.T) {
